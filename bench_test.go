@@ -1,0 +1,43 @@
+package piumagcn_test
+
+// One Go benchmark per paper artifact: BenchmarkTable1 and
+// BenchmarkFig2..BenchmarkFig10 each regenerate their table/figure via
+// the internal/bench runners (quick sweeps, simulator graphs capped at
+// 2^14 edges so a full `go test -bench=.` stays in benchmark territory).
+// Run `cmd/piumabench -experiment all` for full-fidelity sweeps.
+
+import (
+	"testing"
+
+	"piumagcn/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := bench.QuickOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Sections) == 0 {
+			b.Fatalf("%s produced an empty report", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkFig2(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { runExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10") }

@@ -1,0 +1,67 @@
+// Command piumabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	piumabench -list
+//	piumabench -experiment fig5
+//	piumabench -experiment all -max-sim-edges 262144
+//	piumabench -experiment fig9 -quick
+//
+// Each experiment prints a text report (tables, stacked breakdown bars,
+// scaling curves) whose rows mirror what the paper's figure reports; see
+// EXPERIMENTS.md for the paper-vs-measured index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"piumagcn/internal/bench"
+)
+
+func main() {
+	var (
+		experiment  = flag.String("experiment", "", "experiment ID to run (table1, fig2..fig10, ext-*, or 'all')")
+		list        = flag.Bool("list", false, "list available experiments")
+		quick       = flag.Bool("quick", false, "trim sweep points for a fast run")
+		maxSimEdges = flag.Int64("max-sim-edges", 1<<17, "edge cap for event-level simulations")
+		seed        = flag.Int64("seed", 7, "synthetic-generation seed")
+	)
+	flag.Parse()
+
+	if *list || *experiment == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-10s %s\n             %s\n", e.ID, e.Title, e.Description)
+		}
+		if *experiment == "" && !*list {
+			fmt.Println("\nrun with -experiment <id> or -experiment all")
+		}
+		return
+	}
+
+	opts := bench.Options{MaxSimEdges: *maxSimEdges, Quick: *quick, Seed: *seed}
+	var targets []bench.Experiment
+	if *experiment == "all" {
+		targets = bench.All()
+	} else {
+		e, err := bench.ByID(*experiment)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		targets = []bench.Experiment{e}
+	}
+	for _, e := range targets {
+		start := time.Now()
+		report, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(report.String())
+		fmt.Printf("\n[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

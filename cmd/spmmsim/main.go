@@ -1,0 +1,87 @@
+// Command spmmsim runs a single SpMM simulation on the PIUMA machine
+// model with every architectural parameter exposed as a flag — the tool
+// behind the sensitivity studies of Section IV.
+//
+// Usage:
+//
+//	spmmsim -kernel dma -cores 8 -k 256
+//	spmmsim -kernel loop-unrolled -cores 32 -k 64 -dram-latency 360
+//	spmmsim -kernel dma -threads-per-mtp 1 -k 8 -dram-latency 720
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"piumagcn/internal/amodel"
+	"piumagcn/internal/piuma"
+	"piumagcn/internal/piuma/kernels"
+	"piumagcn/internal/rmat"
+	"piumagcn/internal/sim"
+)
+
+func main() {
+	var (
+		kernel        = flag.String("kernel", "dma", "kernel: dma or loop-unrolled")
+		scale         = flag.Int("scale", 13, "log2 vertex count of the RMAT input")
+		edgeFactor    = flag.Int("edge-factor", 16, "edges per vertex")
+		k             = flag.Int("k", 256, "embedding dimension")
+		cores         = flag.Int("cores", 8, "PIUMA cores")
+		mtps          = flag.Int("mtps-per-core", 4, "MTP pipelines per core")
+		threadsPerMTP = flag.Int("threads-per-mtp", 16, "hardware threads per MTP")
+		clock         = flag.Float64("clock-ghz", 1.0, "pipeline clock (GHz)")
+		dramLatency   = flag.Int("dram-latency", 45, "DRAM latency (ns)")
+		sliceBW       = flag.Float64("slice-bandwidth", 25.6e9, "per-slice DRAM bandwidth (B/s)")
+		remoteBase    = flag.Int("remote-latency", 240, "remote-slice base latency (ns)")
+		hop           = flag.Int("hop-latency", 10, "per-hop network latency (ns)")
+		dmaQueue      = flag.Int("dma-queue", 16, "DMA descriptor queue depth")
+		seed          = flag.Int64("seed", 1, "RMAT seed")
+	)
+	flag.Parse()
+
+	g, err := rmat.GenerateCSR(rmat.PowerLaw(*scale, *edgeFactor, *seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := piuma.DefaultConfig()
+	cfg.Cores = *cores
+	cfg.MTPsPerCore = *mtps
+	cfg.ThreadsPerMTP = *threadsPerMTP
+	cfg.ClockGHz = *clock
+	cfg.DRAMLatency = sim.Time(*dramLatency) * sim.Nanosecond
+	cfg.SliceBandwidth = *sliceBW
+	cfg.RemoteBaseLatency = sim.Time(*remoteBase) * sim.Nanosecond
+	cfg.HopLatency = sim.Time(*hop) * sim.Nanosecond
+	cfg.DMAQueueDepth = *dmaQueue
+
+	res, err := kernels.Run(kernels.Kind(*kernel), cfg, g, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	prob := amodel.Problem{V: res.V, E: res.E, K: int64(*k), W: amodel.DefaultWidths()}
+	bw := cfg.AggregateBandwidth()
+	modelGF, err := prob.GFLOPS(amodel.Bandwidth{Read: bw, Write: bw})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("kernel          : %s\n", res.Kernel)
+	fmt.Printf("graph           : |V|=%d |E|=%d K=%d\n", res.V, res.E, res.K)
+	fmt.Printf("machine         : %d cores x %d MTPs x %d threads @ %.1f GHz, %.1f GB/s/slice\n",
+		cfg.Cores, cfg.MTPsPerCore, cfg.ThreadsPerMTP, cfg.ClockGHz, cfg.SliceBandwidth/1e9)
+	fmt.Printf("elapsed         : %.3f ms (%d simulation events)\n", res.Elapsed.Seconds()*1e3, res.Events)
+	fmt.Printf("throughput      : %.2f GFLOPS (%.0f%% of the bandwidth model's %.2f)\n",
+		res.GFLOPS, 100*res.GFLOPS/modelGF, modelGF)
+	fmt.Printf("slice util      : %.0f%%\n", 100*res.AvgSliceUtilization)
+	fmt.Printf("avg NNZ latency : %.0f ns\n", res.AvgNNZLatency.Nanoseconds())
+	b := res.Breakdown
+	tot := float64(b.Total())
+	fmt.Printf("thread time     : nnz %.0f%%  feature %.0f%%  dma-queue %.0f%%  compute %.0f%%  startup %.0f%%  barrier %.0f%%\n",
+		100*float64(b.NNZWait)/tot, 100*float64(b.FeatureWait)/tot, 100*float64(b.DMAQueueWait)/tot,
+		100*float64(b.Compute)/tot, 100*float64(b.Startup)/tot, 100*float64(b.Barrier)/tot)
+}

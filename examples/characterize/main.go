@@ -1,0 +1,52 @@
+// Characterize: place a workload on the paper's Figure 2 plane — the
+// SpMM-share contour over graph scale and density — to estimate how much
+// it would benefit from a graph accelerator like PIUMA. This is the
+// paper's per-layer estimation methodology (Section III-B) applied to
+// the OGB suite plus a user-defined workload.
+//
+//	go run ./examples/characterize [-vertices 500000] [-avg-degree 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"piumagcn/internal/core"
+	"piumagcn/internal/ogb"
+)
+
+func main() {
+	vertices := flag.Int64("vertices", 500_000, "workload vertex count")
+	avgDegree := flag.Float64("avg-degree", 30, "workload average degree")
+	k := flag.Int("k", 256, "embedding dimension")
+	flag.Parse()
+
+	cpu := core.NewCPU()
+	grid, err := core.ComputeContourGrid(cpu,
+		[]int{10, 12, 14, 16, 18, 20, 22, 24, 26},
+		[]float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("SpMM share of a K=%d GCN layer on CPU (the Figure 2 plane):\n\n", *k)
+	fmt.Printf("%-12s %12s %10s %12s  %s\n", "workload", "|V|", "density", "SpMM share", "verdict")
+	show := func(name string, v int64, density float64) {
+		share := grid.ShareAt(v, density)
+		verdict := "modest PIUMA benefit"
+		if share > 0.6 {
+			verdict = "strong PIUMA benefit"
+		}
+		if share > 0.85 {
+			verdict = "ideal PIUMA workload"
+		}
+		fmt.Printf("%-12s %12d %10.2e %11.0f%%  %s\n", name, v, density, 100*share, verdict)
+	}
+	for _, d := range ogb.Catalog() {
+		show(d.Name, d.V, d.Density())
+	}
+	density := *avgDegree / float64(*vertices)
+	fmt.Println()
+	show("(yours)", *vertices, density)
+}

@@ -1,0 +1,149 @@
+// Inference: an end-to-end functional GCN on a synthetic citation-style
+// graph — planted community structure, real normalization, real SpMM
+// and dense kernels — demonstrating that aggregation actually smooths
+// features toward community consensus (the mechanism GCN accuracy rests
+// on) and reporting kernel wall-times on this host.
+//
+//	go run ./examples/inference
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"piumagcn/internal/core"
+	"piumagcn/internal/graph"
+	"piumagcn/internal/spmm"
+	"piumagcn/internal/tensor"
+)
+
+const (
+	communities  = 4
+	perCommunity = 500
+	inDim        = 16
+	hidden       = 32
+)
+
+func main() {
+	a, labels := plantedGraph(1234)
+	n := a.NumVertices
+	fmt.Printf("planted graph: %d vertices, %d edges, %d communities\n", n, a.NumEdges(), communities)
+
+	// Features: noisy one-hot-ish community signatures.
+	rng := rand.New(rand.NewSource(99))
+	x := tensor.New(n, inDim)
+	for v := 0; v < n; v++ {
+		for j := 0; j < inDim; j++ {
+			x.Set(v, j, rng.NormFloat64()*2.0) // heavy noise
+		}
+		x.Set(v, labels[v], x.At(v, labels[v])+1.0) // weak signal
+	}
+
+	w := core.Workload{Name: "planted", V: int64(n), E: a.NumEdges(),
+		InDim: inDim, OutDim: communities, Locality: 0}
+	model := core.DefaultModel(hidden)
+	weights := core.GlorotWeights(model, w, 5)
+
+	// Raw-feature vs GCN-smoothed nearest-signature accuracy.
+	base := accuracy(x, labels)
+	start := time.Now()
+	out, err := core.Infer(a, x, weights, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// One aggregation pass over the raw features isolates the
+	// smoothing effect from the random weights.
+	smoothed, err := spmm.VertexParallel(a, x, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smoothed, err = spmm.VertexParallel(a, smoothed, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := accuracy(smoothed, labels)
+
+	fmt.Printf("nearest-signature accuracy on raw features:       %.1f%%\n", 100*base)
+	fmt.Printf("nearest-signature accuracy after 2x aggregation:  %.1f%%\n", 100*agg)
+	fmt.Printf("3-layer GCN forward pass (untrained weights):     output %dx%d in %v\n",
+		out.Rows, out.Cols, elapsed.Round(time.Microsecond))
+	if agg <= base {
+		log.Fatal("aggregation failed to smooth features toward community consensus")
+	}
+	fmt.Println("\naggregation (SpMM) pulls every vertex toward its community mean —")
+	fmt.Println("exactly the kernel whose scalability the paper characterizes.")
+}
+
+// plantedGraph builds a stochastic block model: dense within
+// communities, sparse across.
+func plantedGraph(seed int64) (*graph.CSR, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := communities * perCommunity
+	labels := make([]int, n)
+	for v := range labels {
+		labels[v] = v / perCommunity
+	}
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		for d := 0; d < 12; d++ {
+			var u int
+			if rng.Float64() < 0.9 { // intra-community
+				u = labels[v]*perCommunity + rng.Intn(perCommunity)
+			} else {
+				u = rng.Intn(n)
+			}
+			edges = append(edges,
+				graph.Edge{Src: int32(v), Dst: int32(u), Weight: 1},
+				graph.Edge{Src: int32(u), Dst: int32(v), Weight: 1})
+		}
+	}
+	raw, err := graph.FromCOO(&graph.COO{NumVertices: n, Edges: edges})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return graph.NormalizeGCN(raw), labels
+}
+
+// accuracy classifies each vertex by the community signature nearest to
+// its feature row (cosine against per-community mean rows).
+func accuracy(h *tensor.Matrix, labels []int) float64 {
+	means := make([]*tensor.Matrix, communities)
+	counts := make([]int, communities)
+	for c := range means {
+		means[c] = tensor.New(1, h.Cols)
+	}
+	for v := 0; v < h.Rows; v++ {
+		c := labels[v]
+		counts[c]++
+		row := h.Row(v)
+		for j, val := range row {
+			means[c].Data[j] += val
+		}
+	}
+	for c := range means {
+		for j := range means[c].Data {
+			means[c].Data[j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for v := 0; v < h.Rows; v++ {
+		best, bestDot := -1, 0.0
+		row := h.Row(v)
+		for c := range means {
+			dot := 0.0
+			for j, val := range row {
+				dot += val * means[c].Data[j]
+			}
+			if best == -1 || dot > bestDot {
+				best, bestDot = c, dot
+			}
+		}
+		if best == labels[v] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(h.Rows)
+}

@@ -1,0 +1,54 @@
+// Scaling: strong-scale the two simulated PIUMA SpMM kernels against
+// the bandwidth-bound analytical model — a programmatic rendition of
+// Figure 5 on a user-sized RMAT graph.
+//
+//	go run ./examples/scaling [-scale 12] [-k 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"piumagcn/internal/amodel"
+	"piumagcn/internal/piuma"
+	"piumagcn/internal/piuma/kernels"
+	"piumagcn/internal/rmat"
+)
+
+func main() {
+	scale := flag.Int("scale", 12, "log2 vertex count")
+	edgeFactor := flag.Int("edge-factor", 16, "edges per vertex")
+	k := flag.Int("k", 128, "embedding dimension")
+	flag.Parse()
+
+	g, err := rmat.GenerateCSR(rmat.PowerLaw(*scale, *edgeFactor, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RMAT scale %d: |V|=%d |E|=%d, K=%d\n\n", *scale, g.NumVertices, g.NumEdges(), *k)
+	fmt.Printf("%6s %12s %14s %16s\n", "cores", "model GF", "dma GF (eff)", "loop GF (eff)")
+
+	for _, cores := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := piuma.DefaultConfig()
+		cfg.Cores = cores
+		prob := amodel.Problem{V: int64(g.NumVertices), E: g.NumEdges(), K: int64(*k), W: amodel.DefaultWidths()}
+		bw := cfg.AggregateBandwidth()
+		model, err := prob.GFLOPS(amodel.Bandwidth{Read: bw, Write: bw})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dma, err := kernels.Run(kernels.KindDMA, cfg, g, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lu, err := kernels.Run(kernels.KindLoopUnrolled, cfg, g, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %12.1f %8.1f (%3.0f%%) %9.1f (%3.0f%%)\n",
+			cores, model, dma.GFLOPS, 100*dma.GFLOPS/model, lu.GFLOPS, 100*lu.GFLOPS/model)
+	}
+	fmt.Println("\nThe DMA kernel tracks the model; the loop-unrolled kernel collapses")
+	fmt.Println("once remote NNZ-read latency dominates (Section IV-B of the paper).")
+}

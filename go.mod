@@ -1,0 +1,3 @@
+module piumagcn
+
+go 1.24

@@ -1,0 +1,171 @@
+package amodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleProblem() Problem {
+	return Problem{V: 1000, E: 16000, K: 64, W: DefaultWidths()}
+}
+
+func TestEquation1(t *testing.T) {
+	p := sampleProblem()
+	// (|V|+1)*8 + |E|*4 + |E|*8
+	want := int64(1001*8 + 16000*4 + 16000*8)
+	if got := p.CSRBytes(); got != want {
+		t.Fatalf("CSRBytes = %d, want %d", got, want)
+	}
+}
+
+func TestEquation2(t *testing.T) {
+	p := sampleProblem()
+	want := int64(64 * 16000 * 8)
+	if got := p.FeatureBytes(); got != want {
+		t.Fatalf("FeatureBytes = %d, want %d", got, want)
+	}
+}
+
+func TestEquation3(t *testing.T) {
+	p := sampleProblem()
+	want := int64(64 * 1000 * 8)
+	if got := p.WriteBytes(); got != want {
+		t.Fatalf("WriteBytes = %d, want %d", got, want)
+	}
+}
+
+func TestEquation4(t *testing.T) {
+	p := sampleProblem()
+	if got := p.FLOP(); got != 2*16000*64 {
+		t.Fatalf("FLOP = %d", got)
+	}
+}
+
+func TestEquation5(t *testing.T) {
+	p := sampleProblem()
+	bw := Bandwidth{Read: 100e9, Write: 50e9}
+	got, err := p.Time(bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(p.CSRBytes()+p.FeatureBytes())/100e9 + float64(p.WriteBytes())/50e9
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Time = %v, want %v", got, want)
+	}
+}
+
+func TestGFLOPS(t *testing.T) {
+	p := sampleProblem()
+	bw := Bandwidth{Read: 100e9, Write: 100e9}
+	g, err := p.GFLOPS(bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := p.Time(bw)
+	want := float64(p.FLOP()) / tm / 1e9
+	if math.Abs(g-want) > 1e-9 {
+		t.Fatalf("GFLOPS = %v, want %v", g, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := sampleProblem()
+	p.V = -1
+	if _, err := p.Time(Bandwidth{1, 1}); err == nil {
+		t.Fatal("expected error for negative V")
+	}
+	p = sampleProblem()
+	if _, err := p.Time(Bandwidth{0, 1}); err == nil {
+		t.Fatal("expected error for zero bandwidth")
+	}
+	p.W.Feature = 0
+	if _, err := p.Time(Bandwidth{1, 1}); err == nil {
+		t.Fatal("expected error for zero width")
+	}
+}
+
+func TestArithmeticIntensityLow(t *testing.T) {
+	// SpMM must be low-intensity: well under 1 FLOP/byte for typical
+	// problems (the paper's justification for a bandwidth-bound model).
+	p := sampleProblem()
+	ai := p.ArithmeticIntensity()
+	if ai <= 0 || ai >= 0.5 {
+		t.Fatalf("SpMM arithmetic intensity = %v, want (0, 0.5)", ai)
+	}
+	empty := Problem{W: DefaultWidths()}
+	if empty.ArithmeticIntensity() != 0 {
+		t.Fatal("empty problem should have zero intensity")
+	}
+}
+
+func TestDenseIntensityGrowsWithK(t *testing.T) {
+	w := DefaultWidths()
+	d8 := DenseProblem{V: 1000, KIn: 8, KOut: 8, W: w}
+	d256 := DenseProblem{V: 1000, KIn: 256, KOut: 256, W: w}
+	if d256.ArithmeticIntensity() <= d8.ArithmeticIntensity() {
+		t.Fatal("dense intensity should grow with K")
+	}
+	// With Kin=Kout=K and 8-byte features, AI = 2VK² / 16VK = K/8:
+	// 32 flops/byte at K=256, well into the compute-bound regime.
+	if ai := d256.ArithmeticIntensity(); math.Abs(ai-32) > 1e-9 {
+		t.Fatalf("dense AI(256) = %v, want 32", ai)
+	}
+	if d := (DenseProblem{W: w}); d.ArithmeticIntensity() != 0 {
+		t.Fatal("empty dense problem should have zero intensity")
+	}
+}
+
+func TestRoofline(t *testing.T) {
+	// Compute-bound: 1e9 flop at 1e9 flops = 1s vs 8 bytes at 1e9 B/s.
+	tm, err := RooflineTime(1e9, 8, 1e9, 1e9)
+	if err != nil || tm != 1 {
+		t.Fatalf("RooflineTime = %v, %v", tm, err)
+	}
+	// Memory-bound.
+	tm, _ = RooflineTime(1, 2e9, 1e9, 1e9)
+	if tm != 2 {
+		t.Fatalf("memory-bound RooflineTime = %v", tm)
+	}
+	if _, err := RooflineTime(1, 1, 0, 1); err == nil {
+		t.Fatal("expected error for zero peak")
+	}
+}
+
+// Property: time decreases monotonically with bandwidth, and GFLOPS
+// increases linearly (the Figure 6 bandwidth-sweep claim at model level).
+func TestQuickBandwidthLinearity(t *testing.T) {
+	f := func(scale uint8) bool {
+		p := sampleProblem()
+		base := Bandwidth{Read: 50e9, Write: 50e9}
+		mult := float64(scale%10) + 1
+		scaled := Bandwidth{Read: base.Read * mult, Write: base.Write * mult}
+		g1, err1 := p.GFLOPS(base)
+		g2, err2 := p.GFLOPS(scaled)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(g2-g1*mult) < 1e-6*g2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total traffic is monotone in each of V, E, K.
+func TestQuickTrafficMonotone(t *testing.T) {
+	f := func(dv, de, dk uint16) bool {
+		p := sampleProblem()
+		q := p
+		q.V += int64(dv)
+		q.E += int64(de)
+		q.K += int64(dk)
+		return q.CSRBytes() >= p.CSRBytes() &&
+			q.FeatureBytes() >= p.FeatureBytes() &&
+			q.WriteBytes() >= p.WriteBytes() &&
+			q.FLOP() >= p.FLOP()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

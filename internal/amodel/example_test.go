@@ -1,0 +1,28 @@
+package amodel_test
+
+import (
+	"fmt"
+
+	"piumagcn/internal/amodel"
+)
+
+// ExampleProblem evaluates the paper's Equations 1-5 for a small SpMM
+// instance against a 100 GB/s memory system.
+func ExampleProblem() {
+	p := amodel.Problem{V: 1_000_000, E: 16_000_000, K: 256, W: amodel.DefaultWidths()}
+	fmt.Printf("CSR bytes     = %d\n", p.CSRBytes())
+	fmt.Printf("feature bytes = %d\n", p.FeatureBytes())
+	fmt.Printf("write bytes   = %d\n", p.WriteBytes())
+	fmt.Printf("FLOP          = %d\n", p.FLOP())
+	gf, err := p.GFLOPS(amodel.Bandwidth{Read: 100e9, Write: 100e9})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("GFLOPS @100GB/s = %.1f\n", gf)
+	// Output:
+	// CSR bytes     = 200000008
+	// feature bytes = 32768000000
+	// write bytes   = 2048000000
+	// FLOP          = 8192000000
+	// GFLOPS @100GB/s = 23.4
+}

@@ -1,0 +1,143 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation as text reports: Table I plus Figures 2 through 10, and
+// the extension studies of Section VI/VII. Each experiment is a named
+// runner; cmd/piumabench exposes them on the command line and
+// bench_test.go exposes them as Go benchmarks.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options tunes experiment cost. Event-level simulations run on
+// synthetic stand-ins capped at MaxSimEdges edges (the analytical
+// models always evaluate the full Table I sizes).
+type Options struct {
+	// MaxSimEdges caps generated graphs for the event-level simulator.
+	MaxSimEdges int64
+	// Quick trims sweep points (used by unit tests and -short runs).
+	Quick bool
+	// Seed drives all synthetic generation.
+	Seed int64
+}
+
+// DefaultOptions balances fidelity and runtime (a few minutes for the
+// full suite on a laptop-class machine).
+func DefaultOptions() Options {
+	return Options{MaxSimEdges: 1 << 17, Seed: 7}
+}
+
+// QuickOptions is for tests: small graphs, few sweep points.
+func QuickOptions() Options {
+	return Options{MaxSimEdges: 1 << 14, Quick: true, Seed: 7}
+}
+
+func (o Options) validate() error {
+	if o.MaxSimEdges <= 0 {
+		return fmt.Errorf("bench: MaxSimEdges must be positive, got %d", o.MaxSimEdges)
+	}
+	return nil
+}
+
+// Section is one titled block of a report.
+type Section struct {
+	Heading string
+	Body    string
+}
+
+// Report is an experiment's rendered output.
+type Report struct {
+	ID       string
+	Title    string
+	Sections []Section
+	// Notes record paper-vs-reproduction observations for
+	// EXPERIMENTS.md.
+	Notes []string
+}
+
+// Add appends a section.
+func (r *Report) Add(heading, body string) {
+	r.Sections = append(r.Sections, Section{Heading: heading, Body: body})
+}
+
+// Note appends an observation.
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, s := range r.Sections {
+		fmt.Fprintf(&b, "\n-- %s --\n%s", s.Heading, s.Body)
+		if !strings.HasSuffix(s.Body, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	if len(r.Notes) > 0 {
+		b.WriteString("\nnotes:\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "  - %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(Options) (*Report, error)
+}
+
+// registry holds all experiments, keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns the experiments sorted by ID (tableX first, then figX in
+// numeric order, then extensions).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		ids := make([]string, 0, len(registry))
+		for _, e := range All() {
+			ids = append(ids, e.ID)
+		}
+		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have: %s)", id, strings.Join(ids, ", "))
+	}
+	return e, nil
+}
+
+// orderKey sorts table1 < fig2 < ... < fig10 < ext-*.
+func orderKey(id string) string {
+	switch {
+	case strings.HasPrefix(id, "table"):
+		return fmt.Sprintf("0-%s", id)
+	case strings.HasPrefix(id, "fig"):
+		var n int
+		fmt.Sscanf(id, "fig%d", &n)
+		return fmt.Sprintf("1-%02d", n)
+	default:
+		return "2-" + id
+	}
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ext-fusion", "ext-hetero", "ext-distributed", "ext-randomwalk", "ext-vertexpar"}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	if len(all) < 10 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	if all[0].ID != "table1" {
+		t.Fatalf("first experiment = %s, want table1", all[0].ID)
+	}
+	// fig2 must come before fig10 (numeric, not lexicographic).
+	pos := map[string]int{}
+	for i, e := range all {
+		pos[e.ID] = i
+	}
+	if pos["fig2"] > pos["fig10"] {
+		t.Fatal("fig ordering is lexicographic, want numeric")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := Options{MaxSimEdges: 0}
+	if err := bad.validate(); err == nil {
+		t.Fatal("expected error for zero MaxSimEdges")
+	}
+	if err := DefaultOptions().validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "demo"}
+	r.Add("sec", "body")
+	r.Note("note %d", 1)
+	out := r.String()
+	for _, want := range []string{"== x: demo ==", "-- sec --", "body", "note 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// Every experiment must run cleanly in quick mode and produce sections.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep still simulates; skipped with -short")
+	}
+	o := QuickOptions()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run(o)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(r.Sections) == 0 {
+				t.Fatalf("%s: empty report", e.ID)
+			}
+			if r.ID != e.ID {
+				t.Fatalf("report ID %q != experiment ID %q", r.ID, e.ID)
+			}
+			if out := r.String(); len(out) < 100 {
+				t.Fatalf("%s: suspiciously short report:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestExperimentsRejectBadOptions(t *testing.T) {
+	for _, e := range All() {
+		if _, err := e.Run(Options{MaxSimEdges: -1}); err == nil {
+			t.Errorf("%s: expected error for bad options", e.ID)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+
+	"piumagcn/internal/core"
+	"piumagcn/internal/ogb"
+	"piumagcn/internal/textplot"
+)
+
+// This file implements the three execution-time-breakdown figures
+// (Figure 3: CPU, Figure 4: GPU, Figure 10: PIUMA) and the cross-
+// platform speedup comparison (Figure 9). They share the sweep shape:
+// every OGB workload crossed with the hidden-embedding-dimension sweep.
+
+func init() {
+	register(Experiment{
+		ID:          "fig3",
+		Title:       "GCN execution-time breakdown on CPU (Figure 3)",
+		Description: "Per-workload relative time in SpMM / Dense MM / Glue plus absolute kernel times, swept over hidden embedding dimensions.",
+		Run: func(o Options) (*Report, error) {
+			return runBreakdown(o, "fig3", "CPU (Xeon 8380 2S)", core.NewCPU())
+		},
+	})
+	register(Experiment{
+		ID:          "fig4",
+		Title:       "GCN execution-time breakdown on GPU (Figure 4)",
+		Description: "Per-workload relative time including Offload and (for papers) CPU-side Sampling.",
+		Run: func(o Options) (*Report, error) {
+			return runBreakdown(o, "fig4", "GPU (A100-40GB)", core.NewGPU())
+		},
+	})
+	register(Experiment{
+		ID:          "fig10",
+		Title:       "GCN execution-time breakdown on PIUMA (Figure 10)",
+		Description: "Per-workload relative time on the PIUMA node, showing the shift toward Dense MM at large K.",
+		Run: func(o Options) (*Report, error) {
+			return runBreakdown(o, "fig10", "PIUMA node", core.NewPIUMA())
+		},
+	})
+	register(Experiment{
+		ID:          "fig9",
+		Title:       "PIUMA and GPU versus CPU (Figure 9)",
+		Description: "GCN speedup bars and SpMM kernel speedup diamonds for every workload and embedding dimension, normalized to the Xeon node.",
+		Run:         runFig9,
+	})
+}
+
+func sweepDims(o Options) []int {
+	if o.Quick {
+		return []int{8, 256}
+	}
+	return []int{8, 16, 32, 64, 128, 256}
+}
+
+func sweepWorkloads(o Options, withPower bool) []core.Workload {
+	var out []core.Workload
+	for _, d := range ogb.Catalog() {
+		out = append(out, core.FromDataset(d))
+	}
+	if withPower {
+		out = append(out, core.FromDataset(ogb.PowerRMAT(16)), core.FromDataset(ogb.PowerRMAT(22)))
+	}
+	if o.Quick {
+		keep := map[string]bool{"ddi": true, "arxiv": true, "products": true, "papers": true, "power-16": true}
+		var q []core.Workload
+		for _, w := range out {
+			if keep[w.Name] {
+				q = append(q, w)
+			}
+		}
+		return q
+	}
+	return out
+}
+
+func runBreakdown(o Options, id, platformLabel string, p core.Platform) (*Report, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{ID: id, Title: "GCN execution-time breakdown on " + platformLabel}
+	dims := sweepDims(o)
+	workloads := sweepWorkloads(o, false)
+
+	var rows []string
+	var segs [][]textplot.Segment
+	abs := &textplot.Table{Headers: []string{"workload", "K", "total(s)", "SpMM(s)", "Dense(s)", "Glue(s)", "Offload(s)", "Sampling(s)"}}
+	for _, w := range workloads {
+		for _, k := range dims {
+			b, err := p.RunGCN(w, core.DefaultModel(k))
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s K=%d: %w", id, w.Name, k, err)
+			}
+			rows = append(rows, fmt.Sprintf("%s/K%d", w.Name, k))
+			var seg []textplot.Segment
+			for _, ph := range core.Phases() {
+				if b[ph] > 0 {
+					seg = append(seg, textplot.Segment{Label: string(ph), Value: b[ph]})
+				}
+			}
+			segs = append(segs, seg)
+			abs.AddRow(w.Name, fmt.Sprintf("%d", k),
+				fmt.Sprintf("%.4g", b.Total()),
+				fmt.Sprintf("%.3g", b[core.PhaseSpMM]),
+				fmt.Sprintf("%.3g", b[core.PhaseDense]),
+				fmt.Sprintf("%.3g", b[core.PhaseGlue]),
+				fmt.Sprintf("%.3g", b[core.PhaseOffload]),
+				fmt.Sprintf("%.3g", b[core.PhaseSampling]))
+		}
+	}
+	r.Add("Relative execution time", textplot.StackedBars(rows, segs, 50))
+	r.Add("Absolute times", abs.String())
+	return r, nil
+}
+
+func runFig9(o Options) (*Report, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig9", Title: "Single-node PIUMA and A100 vs dual-socket Xeon"}
+	cpu, gpuP, piu := core.NewCPU(), core.NewGPU(), core.NewPIUMA()
+	dims := sweepDims(o)
+	workloads := sweepWorkloads(o, true)
+
+	tb := &textplot.Table{Headers: []string{"workload", "K", "PIUMA GCN x", "GPU GCN x", "PIUMA SpMM x", "GPU SpMM x"}}
+	minPIUMA, maxPIUMA := 1e18, 0.0
+	var barLabels []string
+	var barValues []float64
+	barK := dims[len(dims)-1]
+	for _, w := range workloads {
+		for _, k := range dims {
+			m := core.DefaultModel(k)
+			cb, err := cpu.RunGCN(w, m)
+			if err != nil {
+				return nil, err
+			}
+			gb, err := gpuP.RunGCN(w, m)
+			if err != nil {
+				return nil, err
+			}
+			pb, err := piu.RunGCN(w, m)
+			if err != nil {
+				return nil, err
+			}
+			gs, err := core.Speedup(cb, gb)
+			if err != nil {
+				return nil, err
+			}
+			ps, err := core.Speedup(cb, pb)
+			if err != nil {
+				return nil, err
+			}
+			cs, err := cpu.SpMMTime(w, k)
+			if err != nil {
+				return nil, err
+			}
+			gsp, err := gpuP.SpMMTime(w, k)
+			if err != nil {
+				return nil, err
+			}
+			psp, err := piu.SpMMTime(w, k)
+			if err != nil {
+				return nil, err
+			}
+			if ps < minPIUMA {
+				minPIUMA = ps
+			}
+			if ps > maxPIUMA {
+				maxPIUMA = ps
+			}
+			tb.AddRow(w.Name, fmt.Sprintf("%d", k),
+				fmt.Sprintf("%.2f", ps), fmt.Sprintf("%.2f", gs),
+				fmt.Sprintf("%.1f", cs/psp), fmt.Sprintf("%.1f", cs/gsp))
+			if k == barK {
+				barLabels = append(barLabels, w.Name+"/piuma", w.Name+"/gpu")
+				barValues = append(barValues, ps, gs)
+			}
+		}
+	}
+	r.Add("Speedups vs Xeon (bars: GCN, diamonds: SpMM kernel)", tb.String())
+	r.Add(fmt.Sprintf("GCN speedup bars at K=%d (Xeon = 1.0)", barK),
+		textplot.Bars(barLabels, barValues, 40))
+	r.Note("PIUMA GCN speedup range %.2fx-%.2fx (paper: always > 1x, shrinking with K)", minPIUMA, maxPIUMA)
+	r.Note("GPU loses to CPU at small K on offload-bound workloads and collapses on papers (sampling)")
+	return r, nil
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+
+	"piumagcn/internal/core"
+	"piumagcn/internal/ogb"
+	"piumagcn/internal/textplot"
+)
+
+func init() {
+	register(Experiment{
+		ID:          "fig2",
+		Title:       "SpMM share vs scale and density on CPU (Figure 2)",
+		Description: "Contour plane of the fraction of a K=256 GCN layer spent in SpMM on CPU over uniform graphs, with the OGB datasets placed on it.",
+		Run:         runFig2,
+	})
+}
+
+func runFig2(o Options) (*Report, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig2", Title: "SpMM share vs scale and density on CPU"}
+	cpu := core.NewCPU()
+
+	scales := []int{10, 12, 14, 16, 18, 20, 22, 24, 26}
+	densities := []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+	if o.Quick {
+		scales = []int{10, 14, 18, 22, 26}
+		densities = []float64{1e-6, 1e-4, 1e-2}
+	}
+	const k = 256
+	grid, err := core.ComputeContourGrid(cpu, scales, densities, k)
+	if err != nil {
+		return nil, err
+	}
+
+	rowLabels := make([]string, len(scales))
+	for i, s := range scales {
+		rowLabels[i] = fmt.Sprintf("2^%d", s)
+	}
+	colLabels := make([]string, len(densities))
+	for j, d := range densities {
+		colLabels[j] = fmt.Sprintf("%.0e", d)
+	}
+	r.Add(fmt.Sprintf("SpMM time share of a K=%d layer (rows: |V|, cols: density)", k),
+		textplot.HeatGrid(rowLabels, colLabels, grid.Share))
+
+	// Place the OGB datasets on the plane (the annotations of Figure 2).
+	place := &textplot.Table{Headers: []string{"dataset", "|V|", "density", "est. SpMM share"}}
+	for _, d := range ogb.Catalog() {
+		share := grid.ShareAt(d.V, d.Density())
+		place.AddRow(d.Name, fmt.Sprintf("%d", d.V), fmt.Sprintf("%.2e", d.Density()), fmt.Sprintf("%.0f%%", 100*share))
+	}
+	r.Add("OGB datasets on the plane", place.String())
+
+	// The paper's two monotonicity observations.
+	incScale := grid.Share[len(scales)-1][1] >= grid.Share[0][1]
+	incDensity := grid.Share[len(scales)/2][len(densities)-1] >= grid.Share[len(scales)/2][0]
+	r.Note("share increases with scale at fixed density: %v; with density at fixed scale: %v (paper: both hold)", incScale, incDensity)
+	arx := grid.ShareAt(169_343, 4.07e-5)
+	r.Note("arxiv-coordinate share at K=256: %.0f%% (paper: arxiv/collab expected below ~60%%)", 100*arx)
+	return r, nil
+}

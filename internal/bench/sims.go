@@ -1,0 +1,365 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"piumagcn/internal/amodel"
+	"piumagcn/internal/graph"
+	"piumagcn/internal/ogb"
+	"piumagcn/internal/piuma"
+	"piumagcn/internal/piuma/kernels"
+	"piumagcn/internal/sim"
+	"piumagcn/internal/textplot"
+)
+
+// This file implements the simulator-driven figures: Figure 5 (kernel
+// strong scaling vs the analytical model), Figure 6 (bandwidth and
+// latency sweeps), Figure 7 (threads-per-MTP latency sensitivity) and
+// Figure 8 (PIUMA vs Xeon bandwidth and SpMM scaling). They all run the
+// DMA / loop-unrolled kernels on a products-shaped synthetic graph,
+// down-scaled to Options.MaxSimEdges (Figure 5/8 use `products` in the
+// paper; the strong-scaling and sensitivity *shapes* are preserved
+// under down-scaling because the kernels are bandwidth/latency bound,
+// not capacity bound).
+
+type simGraphKey struct {
+	maxEdges int64
+	seed     int64
+}
+
+var (
+	simGraphMu    sync.Mutex
+	simGraphCache = map[simGraphKey]*graph.CSR{}
+)
+
+// simGraph returns the shared products-shaped graph for this option
+// set, generating it once.
+func simGraph(o Options) (*graph.CSR, error) {
+	simGraphMu.Lock()
+	defer simGraphMu.Unlock()
+	key := simGraphKey{o.MaxSimEdges, o.Seed}
+	if g, ok := simGraphCache[key]; ok {
+		return g, nil
+	}
+	products, err := ogb.ByName("products")
+	if err != nil {
+		return nil, err
+	}
+	g, _, err := ogb.Generate(products, ogb.GenerateOptions{MaxEdges: o.MaxSimEdges, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	simGraphCache[key] = g
+	return g, nil
+}
+
+// modelGFLOPS evaluates the Section IV-A analytical model for the
+// machine's aggregate bandwidth.
+func modelGFLOPS(cfg piuma.Config, g *graph.CSR, k int) (float64, error) {
+	prob := amodel.Problem{
+		V: int64(g.NumVertices),
+		E: g.NumEdges(),
+		K: int64(k),
+		W: amodel.ByteWidths{Row: 8, Col: cfg.ColIndexBytes, NonZero: cfg.ValueBytes, Feature: cfg.FeatureBytes},
+	}
+	bw := cfg.AggregateBandwidth()
+	return prob.GFLOPS(amodel.Bandwidth{Read: bw, Write: bw})
+}
+
+func init() {
+	register(Experiment{
+		ID:          "fig5",
+		Title:       "SpMM kernels vs the bandwidth model (Figure 5)",
+		Description: "Strong scaling of the DMA and loop-unrolled kernels against the analytical model, normalized to single-core DMA.",
+		Run:         runFig5,
+	})
+	register(Experiment{
+		ID:          "fig6",
+		Title:       "DRAM bandwidth and latency sensitivity (Figure 6)",
+		Description: "Top: GFLOPS vs slice bandwidth (linear). Bottom: GFLOPS vs DRAM latency (flat to 360+ ns) for 2/4/8 cores, K in {8,256}.",
+		Run:         runFig6,
+	})
+	register(Experiment{
+		ID:          "fig7",
+		Title:       "Threads-per-MTP latency tolerance (Figure 7)",
+		Description: "Latency sweeps at 1-16 threads/MTP on an 8-core die, plus the K=8 execution-time breakdown.",
+		Run:         runFig7,
+	})
+	register(Experiment{
+		ID:          "fig8",
+		Title:       "PIUMA vs Xeon: bandwidth, SpMM scaling, breakdown (Figure 8)",
+		Description: "Left: system bandwidth vs cores. Middle: SpMM strong scaling on the products-shaped graph. Right: 16-core execution-time breakdown across K.",
+		Run:         runFig8,
+	})
+}
+
+func fig5Cores(o Options) []int {
+	if o.Quick {
+		return []int{1, 4, 16}
+	}
+	return []int{1, 2, 4, 8, 16, 32}
+}
+
+func runFig5(o Options) (*Report, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	g, err := simGraph(o)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig5", Title: "SpMM kernels vs the bandwidth-bound model"}
+	dims := []int{256}
+	if !o.Quick {
+		dims = []int{8, 64, 256}
+	}
+	cores := fig5Cores(o)
+	for _, k := range dims {
+		tb := &textplot.Table{Headers: []string{"cores", "model GF", "dma GF", "dma/model", "loop GF", "loop/model", "dma norm", "loop norm"}}
+		var xs []string
+		var dmaN, loopN, modelN []float64
+		base := 0.0
+		for _, c := range cores {
+			cfg := piuma.DefaultConfig()
+			cfg.Cores = c
+			mg, err := modelGFLOPS(cfg, g, k)
+			if err != nil {
+				return nil, err
+			}
+			dma, err := kernels.Run(kernels.KindDMA, cfg, g, k)
+			if err != nil {
+				return nil, err
+			}
+			lu, err := kernels.Run(kernels.KindLoopUnrolled, cfg, g, k)
+			if err != nil {
+				return nil, err
+			}
+			if base == 0 {
+				base = dma.GFLOPS
+			}
+			tb.AddRow(fmt.Sprintf("%d", c),
+				fmt.Sprintf("%.1f", mg),
+				fmt.Sprintf("%.1f", dma.GFLOPS), fmt.Sprintf("%.0f%%", 100*dma.GFLOPS/mg),
+				fmt.Sprintf("%.1f", lu.GFLOPS), fmt.Sprintf("%.0f%%", 100*lu.GFLOPS/mg),
+				fmt.Sprintf("%.1f", dma.GFLOPS/base), fmt.Sprintf("%.1f", lu.GFLOPS/base))
+			xs = append(xs, fmt.Sprintf("%d", c))
+			dmaN = append(dmaN, dma.GFLOPS/base)
+			loopN = append(loopN, lu.GFLOPS/base)
+			modelN = append(modelN, mg/base)
+		}
+		r.Add(fmt.Sprintf("K=%d (V=%d, E=%d)", k, g.NumVertices, g.NumEdges()), tb.String())
+		r.Add(fmt.Sprintf("K=%d scaling, normalized to 1-core DMA", k),
+			textplot.Lines(xs, []textplot.Series{
+				{Name: "model", Y: modelN},
+				{Name: "dma", Y: dmaN},
+				{Name: "loop-unrolled", Y: loopN},
+			}, 12))
+	}
+	r.Note("paper: DMA within 10-20%% of the model at all core counts; loop-unrolled under 40%% past 8 cores")
+	return r, nil
+}
+
+func runFig6(o Options) (*Report, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	g, err := simGraph(o)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig6", Title: "DRAM bandwidth and latency sensitivity"}
+	coreSet := []int{2, 4, 8}
+	dims := []int{8, 256}
+	bwMults := []float64{0.25, 0.5, 1, 2}
+	lats := []int{45, 90, 180, 360, 720}
+	if o.Quick {
+		coreSet = []int{8}
+		bwMults = []float64{0.5, 1, 2}
+		lats = []int{45, 360, 720}
+	}
+
+	bwTb := &textplot.Table{Headers: []string{"cores", "K", "bw x0.25", "x0.5", "x1", "x2"}}
+	if o.Quick {
+		bwTb.Headers = []string{"cores", "K", "bw x0.5", "x1", "x2"}
+	}
+	for _, c := range coreSet {
+		for _, k := range dims {
+			row := []string{fmt.Sprintf("%d", c), fmt.Sprintf("%d", k)}
+			for _, m := range bwMults {
+				cfg := piuma.DefaultConfig()
+				cfg.Cores = c
+				cfg.SliceBandwidth *= m
+				res, err := kernels.Run(kernels.KindDMA, cfg, g, k)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.1f", res.GFLOPS))
+			}
+			bwTb.AddRow(row...)
+		}
+	}
+	r.Add("Top: GFLOPS vs DRAM-slice bandwidth multiplier", bwTb.String())
+
+	latTb := &textplot.Table{Headers: append([]string{"cores", "K"}, latLabels(lats)...)}
+	for _, c := range coreSet {
+		for _, k := range dims {
+			row := []string{fmt.Sprintf("%d", c), fmt.Sprintf("%d", k)}
+			for _, l := range lats {
+				cfg := piuma.DefaultConfig()
+				cfg.Cores = c
+				cfg.DRAMLatency = sim.Time(l) * sim.Nanosecond
+				res, err := kernels.Run(kernels.KindDMA, cfg, g, k)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.1f", res.GFLOPS))
+			}
+			latTb.AddRow(row...)
+		}
+	}
+	r.Add("Bottom: GFLOPS vs DRAM latency (16 threads/MTP)", latTb.String())
+	r.Note("paper: linear in bandwidth; latency-insensitive up to 360 ns (and beyond with 16 threads/MTP)")
+	return r, nil
+}
+
+func latLabels(lats []int) []string {
+	out := make([]string, len(lats))
+	for i, l := range lats {
+		out[i] = fmt.Sprintf("%dns", l)
+	}
+	return out
+}
+
+func runFig7(o Options) (*Report, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	g, err := simGraph(o)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig7", Title: "Threads-per-MTP latency tolerance (8-core die)"}
+	threads := []int{1, 2, 4, 8, 16}
+	lats := []int{45, 90, 180, 360, 720}
+	if o.Quick {
+		threads = []int{1, 16}
+		lats = []int{45, 720}
+	}
+	for _, k := range []int{8, 256} {
+		tb := &textplot.Table{Headers: append([]string{"thr/MTP"}, latLabels(lats)...)}
+		for _, th := range threads {
+			row := []string{fmt.Sprintf("%d", th)}
+			for _, l := range lats {
+				cfg := piuma.DefaultConfig()
+				cfg.Cores = 8
+				cfg.ThreadsPerMTP = th
+				cfg.DRAMLatency = sim.Time(l) * sim.Nanosecond
+				res, err := kernels.Run(kernels.KindDMA, cfg, g, k)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.1f", res.GFLOPS))
+			}
+			tb.AddRow(row...)
+		}
+		r.Add(fmt.Sprintf("GFLOPS, K=%d", k), tb.String())
+	}
+
+	// Bottom plot: execution-time breakdown for K=8 at 1 vs 16 threads.
+	var rows []string
+	var segs [][]textplot.Segment
+	for _, th := range threads {
+		cfg := piuma.DefaultConfig()
+		cfg.Cores = 8
+		cfg.ThreadsPerMTP = th
+		res, err := kernels.Run(kernels.KindDMA, cfg, g, 8)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, fmt.Sprintf("thr=%d", th))
+		b := res.Breakdown
+		segs = append(segs, []textplot.Segment{
+			{Label: "nnz-read", Value: b.NNZWait.Seconds()},
+			{Label: "dma-queue", Value: b.DMAQueueWait.Seconds()},
+			{Label: "compute", Value: b.Compute.Seconds()},
+			{Label: "startup", Value: b.Startup.Seconds()},
+			{Label: "barrier", Value: b.Barrier.Seconds()},
+		})
+	}
+	r.Add("Execution-time breakdown, K=8", textplot.StackedBars(rows, segs, 50))
+	r.Note("paper: latency tolerance is lost at 1 thread/MTP for K=8 (NNZ reads on the critical path) and retained for K=256")
+	return r, nil
+}
+
+func runFig8(o Options) (*Report, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	g, err := simGraph(o)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig8", Title: "PIUMA vs Xeon: bandwidth, SpMM scaling, breakdown"}
+
+	// Left: system bandwidth comparison.
+	cores := []int{1, 2, 4, 8, 16, 32, 64, 80, 120, 160}
+	if o.Quick {
+		cores = []int{1, 8, 16, 80, 160}
+	}
+	cpu := xeonParams()
+	left := &textplot.Table{Headers: []string{"cores/threads", "Xeon GB/s", "PIUMA GB/s"}}
+	pcfg := piuma.DefaultConfig()
+	for _, c := range cores {
+		left.AddRow(fmt.Sprintf("%d", c),
+			fmt.Sprintf("%.0f", cpu.Bandwidth(c)/1e9),
+			fmt.Sprintf("%.0f", float64(c)*pcfg.SliceBandwidth/1e9))
+	}
+	r.Add("Left: effective memory bandwidth vs cores", left.String())
+
+	// Middle: SpMM strong scaling, PIUMA DMA (simulated) vs Xeon model,
+	// in GFLOPS on the same products-shaped problem.
+	const k = 256
+	mid := &textplot.Table{Headers: []string{"cores", "PIUMA GF (sim)", "Xeon GF (model)"}}
+	scaling := fig5Cores(o)
+	for _, c := range scaling {
+		cfg := piuma.DefaultConfig()
+		cfg.Cores = c
+		res, err := kernels.Run(kernels.KindDMA, cfg, g, k)
+		if err != nil {
+			return nil, err
+		}
+		ct := cpu.SpMMTime(xeonWorkload(g), k, c)
+		cgf := 2 * float64(g.NumEdges()) * k / ct / 1e9
+		mid.AddRow(fmt.Sprintf("%d", c), fmt.Sprintf("%.1f", res.GFLOPS), fmt.Sprintf("%.1f", cgf))
+	}
+	r.Add("Middle: SpMM strong scaling on the products-shaped graph (K=256)", mid.String())
+
+	// Right: 16-core PIUMA execution-time breakdown across K.
+	var rows []string
+	var segs [][]textplot.Segment
+	nnzShares := map[int]float64{}
+	for _, kk := range []int{8, 64, 256} {
+		cfg := piuma.DefaultConfig()
+		cfg.Cores = 16
+		res, err := kernels.Run(kernels.KindDMA, cfg, g, kk)
+		if err != nil {
+			return nil, err
+		}
+		b := res.Breakdown
+		rows = append(rows, fmt.Sprintf("K=%d", kk))
+		segs = append(segs, []textplot.Segment{
+			{Label: "nnz-read", Value: b.NNZWait.Seconds()},
+			{Label: "dma-queue", Value: b.DMAQueueWait.Seconds()},
+			{Label: "compute", Value: b.Compute.Seconds()},
+			{Label: "startup", Value: b.Startup.Seconds()},
+			{Label: "barrier", Value: b.Barrier.Seconds()},
+		})
+		nnzShares[kk] = float64(b.NNZWait) / float64(b.Total())
+	}
+	r.Add("Right: 16-core PIUMA time breakdown", textplot.StackedBars(rows, segs, 50))
+	r.Note("NNZ-read share falls with K: %.1f%% at K=8 vs %.1f%% at K=256 (paper: same trend)",
+		100*nnzShares[8], 100*nnzShares[256])
+	r.Note("paper: Xeon bandwidth peaks at 80 physical cores and degrades with hyper-threading; PIUMA crosses it near 16 cores")
+	return r, nil
+}

@@ -1,0 +1,15 @@
+package bench
+
+import (
+	"piumagcn/internal/graph"
+	"piumagcn/internal/xeon"
+)
+
+// xeonParams returns the shared CPU model parameters.
+func xeonParams() xeon.Params { return xeon.DefaultParams() }
+
+// xeonWorkload adapts a generated CSR to the CPU model's workload
+// shape. Generated stand-ins carry no ordering locality.
+func xeonWorkload(g *graph.CSR) xeon.Workload {
+	return xeon.Workload{V: int64(g.NumVertices), E: g.NumEdges(), Locality: 0.5}
+}

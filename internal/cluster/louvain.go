@@ -1,0 +1,268 @@
+// Package cluster implements Louvain community detection — the graph
+// clustering workload Section VI names as a PIUMA target ("PIUMA can
+// significantly accelerate graph clustering methods such as Louvain")
+// and the building block of subgraph-based GCN training (Cluster-GCN).
+//
+// The implementation is the classic two-phase method: greedy local
+// moves maximizing modularity gain, then community aggregation into a
+// coarser graph, repeated until modularity stops improving. Iteration
+// order is deterministic so results are reproducible.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"piumagcn/internal/graph"
+)
+
+// Result is a clustering of the input graph.
+type Result struct {
+	// Assign maps each vertex to its community id; ids are compacted
+	// to [0, Communities).
+	Assign []int32
+	// Communities is the number of distinct communities.
+	Communities int
+	// Modularity is the final modularity Q of the assignment.
+	Modularity float64
+	// Levels is the number of aggregation levels performed.
+	Levels int
+}
+
+// Options bounds the algorithm.
+type Options struct {
+	// MaxLevels caps aggregation rounds (default 10).
+	MaxLevels int
+	// MaxSweeps caps local-move sweeps per level (default 20).
+	MaxSweeps int
+	// MinGain is the modularity improvement below which a level stops
+	// (default 1e-6).
+	MinGain float64
+}
+
+func (o *Options) fill() {
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 10
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 20
+	}
+	if o.MinGain <= 0 {
+		o.MinGain = 1e-6
+	}
+}
+
+// Louvain clusters g (treated as undirected: the symmetrized weights
+// A + Aᵀ drive modularity).
+func Louvain(g *graph.CSR, opts Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	opts.fill()
+	n := g.NumVertices
+	if n == 0 {
+		return &Result{Assign: []int32{}, Communities: 0}, nil
+	}
+	work := symmetrize(g)
+	// assign maps original vertices through all aggregation levels.
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = int32(i)
+	}
+	levels := 0
+	for level := 0; level < opts.MaxLevels; level++ {
+		local, improved := localMove(work, opts)
+		if !improved {
+			break
+		}
+		levels++
+		// Compose the level's assignment into the global one.
+		for v := range assign {
+			assign[v] = local[assign[v]]
+		}
+		var err error
+		work, err = aggregate(work, local)
+		if err != nil {
+			return nil, err
+		}
+		if work.NumVertices <= 1 {
+			break
+		}
+	}
+	compacted, k := compact(assign)
+	q, err := Modularity(g, compacted)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Assign: compacted, Communities: k, Modularity: q, Levels: levels}, nil
+}
+
+// Modularity returns Q for an assignment over g (symmetrized).
+func Modularity(g *graph.CSR, assign []int32) (float64, error) {
+	if len(assign) != g.NumVertices {
+		return 0, fmt.Errorf("cluster: assignment for %d vertices, graph has %d", len(assign), g.NumVertices)
+	}
+	sym := symmetrize(g)
+	var total float64 // 2m
+	deg := make([]float64, sym.NumVertices)
+	for u := 0; u < sym.NumVertices; u++ {
+		_, vals := sym.Row(u)
+		for _, w := range vals {
+			deg[u] += w
+			total += w
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	// Sum of internal weights and of community degrees.
+	internal := map[int32]float64{}
+	commDeg := map[int32]float64{}
+	for u := 0; u < sym.NumVertices; u++ {
+		cu := assign[u]
+		commDeg[cu] += deg[u]
+		cols, vals := sym.Row(u)
+		for i, c := range cols {
+			if assign[c] == cu {
+				internal[cu] += vals[i]
+			}
+		}
+	}
+	q := 0.0
+	for c, in := range internal {
+		q += in / total
+		d := commDeg[c]
+		q -= (d / total) * (d / total)
+	}
+	// Communities with no internal edges still contribute the degree
+	// term.
+	for c, d := range commDeg {
+		if _, ok := internal[c]; !ok {
+			q -= (d / total) * (d / total)
+		}
+	}
+	return q, nil
+}
+
+// symmetrize returns A + Aᵀ (self-loops doubled, consistent with the
+// standard treatment of directed inputs).
+func symmetrize(g *graph.CSR) *graph.CSR {
+	edges := make([]graph.Edge, 0, 2*g.NumEdges())
+	for u := 0; u < g.NumVertices; u++ {
+		cols, vals := g.Row(u)
+		for i, c := range cols {
+			edges = append(edges,
+				graph.Edge{Src: int32(u), Dst: c, Weight: vals[i]},
+				graph.Edge{Src: c, Dst: int32(u), Weight: vals[i]})
+		}
+	}
+	out, err := graph.FromCOO(&graph.COO{NumVertices: g.NumVertices, Edges: edges})
+	if err != nil {
+		// Impossible for edges derived from a validated CSR.
+		panic("cluster: symmetrize: " + err.Error())
+	}
+	return out
+}
+
+// localMove runs greedy modularity-gain sweeps and returns the
+// community assignment plus whether anything moved.
+func localMove(g *graph.CSR, opts Options) ([]int32, bool) {
+	n := g.NumVertices
+	assign := make([]int32, n)
+	deg := make([]float64, n)
+	var total float64 // 2m of the symmetric graph
+	for u := 0; u < n; u++ {
+		assign[u] = int32(u)
+		_, vals := g.Row(u)
+		for _, w := range vals {
+			deg[u] += w
+			total += w
+		}
+	}
+	if total == 0 {
+		return assign, false
+	}
+	commTot := make([]float64, n) // total degree per community
+	copy(commTot, deg)
+	improvedEver := false
+	neighWeight := map[int32]float64{}
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		moved := false
+		for u := 0; u < n; u++ {
+			cu := assign[u]
+			// Weights from u to each neighbouring community
+			// (self-loops excluded from gain computation).
+			for k := range neighWeight {
+				delete(neighWeight, k)
+			}
+			cols, vals := g.Row(u)
+			for i, c := range cols {
+				if int(c) == u {
+					continue
+				}
+				neighWeight[assign[c]] += vals[i]
+			}
+			// Remove u from its community.
+			commTot[cu] -= deg[u]
+			bestC, bestGain := cu, neighWeight[cu]-commTot[cu]*deg[u]/total
+			for c, w := range neighWeight {
+				gain := w - commTot[c]*deg[u]/total
+				// Strictly better gain wins; ties break toward the
+				// smallest community id so map iteration order cannot
+				// make runs diverge.
+				better := gain > bestGain+1e-12
+				tied := gain > bestGain-1e-12 && c < bestC
+				if better || tied {
+					bestC = c
+					if better {
+						bestGain = gain
+					}
+				}
+			}
+			commTot[bestC] += deg[u]
+			if bestC != cu {
+				assign[u] = bestC
+				moved = true
+				improvedEver = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return assign, improvedEver
+}
+
+// aggregate collapses communities into supervertices with summed edge
+// weights.
+func aggregate(g *graph.CSR, assign []int32) (*graph.CSR, error) {
+	compacted, k := compact(assign)
+	if k == 0 {
+		return nil, errors.New("cluster: empty aggregation")
+	}
+	edges := make([]graph.Edge, 0, g.NumEdges())
+	for u := 0; u < g.NumVertices; u++ {
+		cols, vals := g.Row(u)
+		cu := compacted[u]
+		for i, c := range cols {
+			edges = append(edges, graph.Edge{Src: cu, Dst: compacted[c], Weight: vals[i]})
+		}
+	}
+	return graph.FromCOO(&graph.COO{NumVertices: k, Edges: edges})
+}
+
+// compact renumbers assignment ids to [0, k) preserving first-seen
+// order and returns the new assignment and k.
+func compact(assign []int32) ([]int32, int) {
+	remap := map[int32]int32{}
+	out := make([]int32, len(assign))
+	for i, c := range assign {
+		id, ok := remap[c]
+		if !ok {
+			id = int32(len(remap))
+			remap[c] = id
+		}
+		out[i] = id
+	}
+	return out, len(remap)
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"piumagcn/internal/graph"
+)
+
+// ringOfCliques builds k cliques of size s, joined in a ring by single
+// edges — the canonical Louvain benchmark whose optimal communities are
+// the cliques.
+func ringOfCliques(t testing.TB, k, s int) *graph.CSR {
+	t.Helper()
+	var edges []graph.Edge
+	for c := 0; c < k; c++ {
+		base := c * s
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				edges = append(edges, graph.Edge{Src: int32(base + i), Dst: int32(base + j), Weight: 1})
+			}
+		}
+		next := ((c + 1) % k) * s
+		edges = append(edges, graph.Edge{Src: int32(base), Dst: int32(next), Weight: 1})
+	}
+	g, err := graph.FromCOO(&graph.COO{NumVertices: k * s, Edges: edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLouvainRingOfCliques(t *testing.T) {
+	g := ringOfCliques(t, 6, 8)
+	res, err := Louvain(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Communities != 6 {
+		t.Fatalf("found %d communities, want 6 cliques", res.Communities)
+	}
+	// Every clique must be a single community.
+	for c := 0; c < 6; c++ {
+		base := c * 8
+		for i := 1; i < 8; i++ {
+			if res.Assign[base+i] != res.Assign[base] {
+				t.Fatalf("clique %d split across communities", c)
+			}
+		}
+	}
+	if res.Modularity < 0.6 {
+		t.Fatalf("modularity %.3f too low for a clique ring", res.Modularity)
+	}
+	if res.Levels < 1 {
+		t.Fatal("expected at least one aggregation level")
+	}
+}
+
+func TestLouvainDeterministic(t *testing.T) {
+	g := ringOfCliques(t, 4, 6)
+	a, err := Louvain(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Louvain(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Modularity != b.Modularity || a.Communities != b.Communities {
+		t.Fatal("Louvain is nondeterministic")
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("assignments differ between runs")
+		}
+	}
+}
+
+func TestLouvainEmptyAndTrivial(t *testing.T) {
+	empty, _ := graph.FromCOO(&graph.COO{NumVertices: 0})
+	res, err := Louvain(empty, Options{})
+	if err != nil || res.Communities != 0 {
+		t.Fatalf("empty graph: %+v, %v", res, err)
+	}
+	// Edgeless graph: every vertex its own community, modularity 0.
+	lonely, _ := graph.FromCOO(&graph.COO{NumVertices: 5})
+	res, err = Louvain(lonely, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Communities != 5 || res.Modularity != 0 {
+		t.Fatalf("edgeless graph: %+v", res)
+	}
+}
+
+func TestLouvainRejectsInvalid(t *testing.T) {
+	bad := &graph.CSR{NumVertices: 2, RowPtr: []int64{0, 1}, Col: []int32{0}, Val: []float64{1}}
+	if _, err := Louvain(bad, Options{}); err == nil {
+		t.Fatal("expected error for invalid CSR")
+	}
+}
+
+func TestModularityBounds(t *testing.T) {
+	g := ringOfCliques(t, 3, 5)
+	// All-in-one community: Q = sum of internal/total - 1 = 0 for a
+	// single community covering everything.
+	all := make([]int32, g.NumVertices)
+	q, err := Modularity(g, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q > 1e-9 || q < -1e-9 {
+		t.Fatalf("single-community modularity = %v, want 0", q)
+	}
+	// Random assignment should be clearly worse than the clique truth.
+	rng := rand.New(rand.NewSource(1))
+	random := make([]int32, g.NumVertices)
+	for i := range random {
+		random[i] = int32(rng.Intn(3))
+	}
+	truth := make([]int32, g.NumVertices)
+	for i := range truth {
+		truth[i] = int32(i / 5)
+	}
+	qr, err := Modularity(g, random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt, err := Modularity(g, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt <= qr {
+		t.Fatalf("truth modularity %v should beat random %v", qt, qr)
+	}
+	if _, err := Modularity(g, all[:2]); err == nil {
+		t.Fatal("expected error for assignment length mismatch")
+	}
+}
+
+func TestLouvainNoisyCommunities(t *testing.T) {
+	// Stochastic block model: Louvain should recover high modularity
+	// even with cross-community noise.
+	rng := rand.New(rand.NewSource(9))
+	const k, per = 4, 40
+	var edges []graph.Edge
+	for v := 0; v < k*per; v++ {
+		c := v / per
+		for d := 0; d < 6; d++ {
+			var u int
+			if rng.Float64() < 0.85 {
+				u = c*per + rng.Intn(per)
+			} else {
+				u = rng.Intn(k * per)
+			}
+			edges = append(edges, graph.Edge{Src: int32(v), Dst: int32(u), Weight: 1})
+		}
+	}
+	g, err := graph.FromCOO(&graph.COO{NumVertices: k * per, Edges: edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Louvain(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Communities < 2 || res.Communities > 20 {
+		t.Fatalf("found %d communities for a 4-block SBM", res.Communities)
+	}
+	if res.Modularity < 0.3 {
+		t.Fatalf("modularity %.3f too low for a planted SBM", res.Modularity)
+	}
+}

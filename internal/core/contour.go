@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements the Figure 2 methodology: predicting the fraction
+// of a GCN layer's execution time spent in SpMM on the CPU as a function
+// of graph scale |V| and adjacency-matrix density δ (|E| = δ·|V|²).
+// Marking a dataset's (scale, density) coordinate against the contour
+// grid estimates how much it would benefit from a graph accelerator like
+// PIUMA — datasets in high-SpMM-share regions benefit most.
+
+// HiddenLayerShare returns the SpMM share of one hidden GCN layer
+// (in = out = k) on the given platform for a synthetic uniform graph of
+// the given scale and density.
+func HiddenLayerShare(p Platform, v int64, density float64, k int) (float64, error) {
+	if v <= 0 {
+		return 0, errors.New("core: need positive vertex count")
+	}
+	if density < 0 || density > 1 {
+		return 0, fmt.Errorf("core: density %v out of [0,1]", density)
+	}
+	e := int64(density * float64(v) * float64(v))
+	w := Workload{
+		Name:   fmt.Sprintf("rmat-uniform-v%d-d%.2g", v, density),
+		V:      v,
+		E:      e,
+		InDim:  k,
+		OutDim: k,
+		// Figure 2 uses uniform-degree RMAT graphs: no ordering
+		// locality beyond capacity.
+		Locality: 0,
+	}
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	b, err := hiddenLayerBreakdown(p, w, k)
+	if err != nil {
+		return 0, err
+	}
+	return b.Share(PhaseSpMM), nil
+}
+
+// hiddenLayerBreakdown computes one hidden layer (k -> k) on p by
+// running a 2-layer model and halving — both layers are identical when
+// InDim = OutDim = Hidden.
+func hiddenLayerBreakdown(p Platform, w Workload, k int) (Breakdown, error) {
+	m := Model{Layers: 2, Hidden: k}
+	b, err := p.RunGCN(w, m)
+	if err != nil {
+		return nil, err
+	}
+	half := Breakdown{}
+	for ph, v := range b {
+		half[ph] = v / 2
+	}
+	return half, nil
+}
+
+// ContourGrid is the Figure 2 surface: SpMM share sampled over a log2
+// grid of vertex counts and a log10 grid of densities.
+type ContourGrid struct {
+	// Scales[i] is log2(|V|) for row i.
+	Scales []int
+	// Densities[j] is δ for column j.
+	Densities []float64
+	// Share[i][j] is the SpMM time share at (Scales[i], Densities[j]).
+	Share [][]float64
+}
+
+// ComputeContourGrid evaluates the grid on platform p at embedding
+// dimension k (the paper uses k = 256).
+func ComputeContourGrid(p Platform, scales []int, densities []float64, k int) (*ContourGrid, error) {
+	if len(scales) == 0 || len(densities) == 0 {
+		return nil, errors.New("core: empty contour grid")
+	}
+	g := &ContourGrid{
+		Scales:    append([]int(nil), scales...),
+		Densities: append([]float64(nil), densities...),
+		Share:     make([][]float64, len(scales)),
+	}
+	for i, s := range scales {
+		if s < 1 || s > 40 {
+			return nil, fmt.Errorf("core: scale 2^%d out of range", s)
+		}
+		g.Share[i] = make([]float64, len(densities))
+		v := int64(1) << uint(s)
+		for j, d := range densities {
+			// Cap |E| at |V|² (dense) — high densities at low scale.
+			dd := math.Min(d, 1)
+			share, err := HiddenLayerShare(p, v, dd, k)
+			if err != nil {
+				return nil, err
+			}
+			g.Share[i][j] = share
+		}
+	}
+	return g, nil
+}
+
+// ShareAt interpolates the grid at an arbitrary (|V|, density)
+// coordinate — used to place the OGB datasets on the Figure 2 plane.
+// Coordinates outside the grid clamp to the border.
+func (g *ContourGrid) ShareAt(v int64, density float64) float64 {
+	if v < 1 {
+		v = 1
+	}
+	scale := math.Log2(float64(v))
+	si := clampIndexF(scale, intsToF(g.Scales))
+	dj := clampIndexF(math.Log10(math.Max(density, 1e-12)), log10s(g.Densities))
+	return bilerp(g.Share, si, dj)
+}
+
+func intsToF(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func log10s(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = math.Log10(math.Max(x, 1e-12))
+	}
+	return out
+}
+
+// clampIndexF maps x onto the fractional index space of the monotone
+// axis values.
+func clampIndexF(x float64, axis []float64) float64 {
+	if len(axis) == 1 || x <= axis[0] {
+		return 0
+	}
+	last := len(axis) - 1
+	if x >= axis[last] {
+		return float64(last)
+	}
+	for i := 0; i < last; i++ {
+		if x <= axis[i+1] {
+			span := axis[i+1] - axis[i]
+			if span == 0 {
+				return float64(i)
+			}
+			return float64(i) + (x-axis[i])/span
+		}
+	}
+	return float64(last)
+}
+
+// bilerp bilinearly interpolates grid[i][j] at fractional (fi, fj).
+func bilerp(grid [][]float64, fi, fj float64) float64 {
+	i0 := int(math.Floor(fi))
+	j0 := int(math.Floor(fj))
+	i1, j1 := i0+1, j0+1
+	if i1 >= len(grid) {
+		i1 = i0
+	}
+	if j1 >= len(grid[0]) {
+		j1 = j0
+	}
+	di, dj := fi-float64(i0), fj-float64(j0)
+	top := grid[i0][j0]*(1-dj) + grid[i0][j1]*dj
+	bot := grid[i1][j0]*(1-dj) + grid[i1][j1]*dj
+	return top*(1-di) + bot*di
+}

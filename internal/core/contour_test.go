@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestHiddenLayerShareValidation(t *testing.T) {
+	cpu := NewCPU()
+	if _, err := HiddenLayerShare(cpu, 0, 0.1, 256); err == nil {
+		t.Fatal("expected error for zero vertices")
+	}
+	if _, err := HiddenLayerShare(cpu, 100, -0.1, 256); err == nil {
+		t.Fatal("expected error for negative density")
+	}
+	if _, err := HiddenLayerShare(cpu, 100, 2, 256); err == nil {
+		t.Fatal("expected error for density > 1")
+	}
+	s, err := HiddenLayerShare(cpu, 1<<14, 1e-3, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 || s >= 1 {
+		t.Fatalf("share = %v, want (0,1)", s)
+	}
+}
+
+// Figure 2's two monotonicity findings: at fixed density the SpMM share
+// grows with scale (quadratic |E| growth), and at fixed scale it grows
+// with density.
+func TestShareMonotoneInScaleAndDensity(t *testing.T) {
+	cpu := NewCPU()
+	const k = 256
+	atScale := func(scale int, density float64) float64 {
+		s, err := HiddenLayerShare(cpu, 1<<scale, density, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if s1, s2 := atScale(12, 1e-4), atScale(22, 1e-4); s2 <= s1 {
+		t.Fatalf("share should grow with scale: 2^12=%.2f 2^22=%.2f", s1, s2)
+	}
+	if s1, s2 := atScale(18, 1e-6), atScale(18, 1e-3); s2 <= s1 {
+		t.Fatalf("share should grow with density: %.2f -> %.2f", s1, s2)
+	}
+}
+
+func TestComputeContourGrid(t *testing.T) {
+	cpu := NewCPU()
+	scales := []int{10, 14, 18}
+	densities := []float64{1e-5, 1e-3}
+	g, err := ComputeContourGrid(cpu, scales, densities, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Share) != 3 || len(g.Share[0]) != 2 {
+		t.Fatalf("grid shape %dx%d", len(g.Share), len(g.Share[0]))
+	}
+	for i := range g.Share {
+		for j := range g.Share[i] {
+			if g.Share[i][j] < 0 || g.Share[i][j] > 1 {
+				t.Fatalf("share[%d][%d] = %v out of [0,1]", i, j, g.Share[i][j])
+			}
+		}
+	}
+	if _, err := ComputeContourGrid(cpu, nil, densities, 128); err == nil {
+		t.Fatal("expected error for empty scales")
+	}
+	if _, err := ComputeContourGrid(cpu, []int{50}, densities, 128); err == nil {
+		t.Fatal("expected error for out-of-range scale")
+	}
+}
+
+func TestContourGridDensityCap(t *testing.T) {
+	// Density above 1 must clamp (|E| <= |V|^2) instead of erroring.
+	cpu := NewCPU()
+	g, err := ComputeContourGrid(cpu, []int{4}, []float64{2}, 8)
+	if err != nil {
+		t.Fatalf("high density should clamp, got %v", err)
+	}
+	if g.Share[0][0] < 0 || g.Share[0][0] > 1 {
+		t.Fatalf("clamped share = %v", g.Share[0][0])
+	}
+}
+
+func TestShareAtInterpolation(t *testing.T) {
+	cpu := NewCPU()
+	scales := []int{10, 14, 18, 22}
+	densities := []float64{1e-6, 1e-4, 1e-2}
+	g, err := ComputeContourGrid(cpu, scales, densities, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact grid points reproduce the stored values.
+	got := g.ShareAt(1<<14, 1e-4)
+	want := g.Share[1][1]
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("ShareAt(grid point) = %v, want %v", got, want)
+	}
+	// Off-grid points clamp to the border instead of extrapolating.
+	lo := g.ShareAt(1, 1e-12)
+	if diff := lo - g.Share[0][0]; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("ShareAt below grid = %v, want corner %v", lo, g.Share[0][0])
+	}
+	hi := g.ShareAt(1<<40, 1)
+	if diff := hi - g.Share[3][2]; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("ShareAt above grid = %v, want corner %v", hi, g.Share[3][2])
+	}
+	// Interpolated values stay within the bracketing cell's range.
+	mid := g.ShareAt(1<<16, 1e-3)
+	min, max := 1.0, 0.0
+	for _, v := range []float64{g.Share[1][1], g.Share[1][2], g.Share[2][1], g.Share[2][2]} {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if mid < min-1e-9 || mid > max+1e-9 {
+		t.Fatalf("interpolated %v outside cell range [%v,%v]", mid, min, max)
+	}
+}
+
+// The paper's reading of Figure 2: proteins and products should sit in
+// a higher-share region than arxiv and collab at K=256.
+func TestContourRanksOGBWorkloads(t *testing.T) {
+	cpu := NewCPU()
+	g, err := ComputeContourGrid(cpu,
+		[]int{10, 12, 14, 16, 18, 20, 22, 24, 26},
+		[]float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := func(name string) float64 {
+		d := mustDataset(t, name)
+		return g.ShareAt(d.V, d.Density())
+	}
+	for _, hi := range []string{"proteins", "products"} {
+		for _, lo := range []string{"arxiv", "collab"} {
+			if share(hi) <= share(lo) {
+				t.Errorf("%s share (%.2f) should exceed %s share (%.2f)",
+					hi, share(hi), lo, share(lo))
+			}
+		}
+	}
+}

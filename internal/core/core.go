@@ -1,0 +1,248 @@
+// Package core is the paper's contribution layer: the GCN model
+// description, the execution-time breakdown methodology (SpMM / Dense
+// MM / Glue Code, plus Offload and Sampling on the GPU), the platform
+// abstraction that the Xeon, A100 and PIUMA models plug into, and the
+// Figure 2 estimation methodology that predicts GCN behaviour from
+// dataset characteristics.
+//
+// The package also provides a *functional* GCN forward pass (Infer) over
+// real data using the kernels in internal/spmm and internal/tensor, so
+// the numerics of the characterized computation are executable and
+// testable, not just timed.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"piumagcn/internal/graph"
+	"piumagcn/internal/ogb"
+	"piumagcn/internal/spmm"
+	"piumagcn/internal/tensor"
+)
+
+// Phase labels one component of GCN execution time, matching the
+// categories of Figures 3, 4 and 10.
+type Phase string
+
+const (
+	// PhaseSpMM is sparse aggregation (Ã·H).
+	PhaseSpMM Phase = "SpMM"
+	// PhaseDense is the dense update ((·)·W).
+	PhaseDense Phase = "DenseMM"
+	// PhaseGlue is activations, kernel setup and framework wrappers.
+	PhaseGlue Phase = "Glue"
+	// PhaseOffload is host-to-device transfer (GPU only).
+	PhaseOffload Phase = "Offload"
+	// PhaseSampling is CPU-side neighbourhood sampling for graphs that
+	// do not fit on the GPU.
+	PhaseSampling Phase = "Sampling"
+)
+
+// Phases lists all phases in presentation order.
+func Phases() []Phase {
+	return []Phase{PhaseSpMM, PhaseDense, PhaseGlue, PhaseOffload, PhaseSampling}
+}
+
+// Breakdown maps phases to seconds.
+type Breakdown map[Phase]float64
+
+// Total returns the summed execution time.
+func (b Breakdown) Total() float64 {
+	t := 0.0
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Share returns phase p's fraction of the total (0 for empty breakdowns).
+func (b Breakdown) Share(p Phase) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b[p] / t
+}
+
+// Add accumulates other into b.
+func (b Breakdown) Add(other Breakdown) {
+	for p, v := range other {
+		b[p] += v
+	}
+}
+
+// Workload carries the structural coordinates a platform model needs.
+type Workload struct {
+	Name string
+	V    int64
+	E    int64
+	// InDim and OutDim are the dataset feature and task dimensions.
+	InDim, OutDim int
+	// Locality in [0,1] feeds the CPU cache model.
+	Locality float64
+}
+
+// FromDataset adapts an OGB catalogue entry.
+func FromDataset(d ogb.Dataset) Workload {
+	return Workload{Name: d.Name, V: d.V, E: d.E, InDim: d.InDim, OutDim: d.OutDim, Locality: d.Locality}
+}
+
+// Validate rejects malformed workloads.
+func (w Workload) Validate() error {
+	if w.V < 0 || w.E < 0 {
+		return fmt.Errorf("core: workload %q has negative size", w.Name)
+	}
+	if w.InDim <= 0 || w.OutDim <= 0 {
+		return fmt.Errorf("core: workload %q needs positive feature dims", w.Name)
+	}
+	if w.Locality < 0 || w.Locality > 1 {
+		return fmt.Errorf("core: workload %q locality %v out of [0,1]", w.Name, w.Locality)
+	}
+	return nil
+}
+
+// Model describes the GCN architecture: the paper uses a three-layer
+// model and sweeps the hidden embedding dimension (Section III-A).
+type Model struct {
+	Layers int
+	Hidden int
+}
+
+// DefaultModel returns the paper's 3-layer GCN with hidden width k.
+func DefaultModel(k int) Model { return Model{Layers: 3, Hidden: k} }
+
+// Validate rejects malformed models.
+func (m Model) Validate() error {
+	if m.Layers < 2 {
+		return fmt.Errorf("core: GCN needs >= 2 layers, got %d", m.Layers)
+	}
+	if m.Hidden <= 0 {
+		return fmt.Errorf("core: hidden dimension must be positive, got %d", m.Hidden)
+	}
+	return nil
+}
+
+// LayerDim is the (input, output) width of one layer.
+type LayerDim struct {
+	In, Out int
+}
+
+// SpMMWidth is the embedding width the layer's aggregation runs at.
+// Ã(HW) and (ÃH)W are equivalent, so the framework aggregates on the
+// narrower side — transform-first when the layer shrinks the embedding,
+// aggregate-first when it widens it (PyTorch-Geometric's flow choice).
+func (d LayerDim) SpMMWidth() int {
+	if d.In < d.Out {
+		return d.In
+	}
+	return d.Out
+}
+
+// LayerDims expands the model against a workload's feature/task widths:
+// InDim -> Hidden -> ... -> Hidden -> OutDim.
+func (m Model) LayerDims(w Workload) []LayerDim {
+	dims := make([]LayerDim, m.Layers)
+	for i := range dims {
+		in, out := m.Hidden, m.Hidden
+		if i == 0 {
+			in = w.InDim
+		}
+		if i == m.Layers-1 {
+			out = w.OutDim
+		}
+		dims[i] = LayerDim{In: in, Out: out}
+	}
+	return dims
+}
+
+// Platform is a performance model that can estimate GCN inference and
+// standalone SpMM execution time for a workload. Implementations wrap
+// the Xeon, A100 and PIUMA models.
+type Platform interface {
+	// Name identifies the platform in reports.
+	Name() string
+	// RunGCN returns the end-to-end inference breakdown.
+	RunGCN(w Workload, m Model) (Breakdown, error)
+	// SpMMTime returns the standalone aggregation-kernel time at
+	// embedding width k (the diamonds of Figure 9).
+	SpMMTime(w Workload, k int) (float64, error)
+}
+
+// Speedup returns how much faster `other` runs the same work than
+// `base` (base time / other time).
+func Speedup(base, other Breakdown) (float64, error) {
+	bt, ot := base.Total(), other.Total()
+	if bt <= 0 || ot <= 0 {
+		return 0, errors.New("core: speedup requires positive times")
+	}
+	return bt / ot, nil
+}
+
+// Infer runs a real 3-(or n-)layer GCN forward pass: for each layer,
+// H ← ReLU(Ã·(H·W)) (no activation after the last layer). The adjacency
+// should already be GCN-normalized (graph.NormalizeGCN). workers <= 0
+// uses GOMAXPROCS.
+func Infer(a *graph.CSR, x *tensor.Matrix, weights []*tensor.Matrix, workers int) (*tensor.Matrix, error) {
+	return infer(a, x, weights, workers, false)
+}
+
+// InferReference is Infer with the serial reference kernels, used by
+// property tests to validate the parallel path.
+func InferReference(a *graph.CSR, x *tensor.Matrix, weights []*tensor.Matrix) (*tensor.Matrix, error) {
+	return infer(a, x, weights, 1, true)
+}
+
+func infer(a *graph.CSR, x *tensor.Matrix, weights []*tensor.Matrix, workers int, serial bool) (*tensor.Matrix, error) {
+	if len(weights) == 0 {
+		return nil, errors.New("core: no layer weights")
+	}
+	if a.NumVertices != x.Rows {
+		return nil, fmt.Errorf("core: %d vertices but %d feature rows", a.NumVertices, x.Rows)
+	}
+	h := x
+	for i, w := range weights {
+		if h.Cols != w.Rows {
+			return nil, fmt.Errorf("core: layer %d: features %dx%d vs weights %dx%d", i, h.Rows, h.Cols, w.Rows, w.Cols)
+		}
+		var hw *tensor.Matrix
+		var err error
+		if serial {
+			hw, err = tensor.MatMul(h, w)
+		} else {
+			hw, err = tensor.ParMatMul(h, w, workers)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d dense: %w", i, err)
+		}
+		var agg *tensor.Matrix
+		if serial {
+			agg, err = spmm.Serial(a, hw)
+		} else {
+			agg, err = spmm.VertexParallel(a, hw, workers)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d aggregate: %w", i, err)
+		}
+		if i < len(weights)-1 {
+			tensor.ReLU(agg)
+		}
+		h = agg
+	}
+	return h, nil
+}
+
+// GlorotWeights builds deterministic layer weight matrices for a model
+// against a workload, scaled Glorot-style (1/sqrt(fan-in)).
+func GlorotWeights(m Model, w Workload, seed int64) []*tensor.Matrix {
+	dims := m.LayerDims(w)
+	out := make([]*tensor.Matrix, len(dims))
+	for i, d := range dims {
+		scale := 1.0
+		if d.In > 0 {
+			scale = 1.0 / float64(d.In)
+		}
+		out[i] = tensor.NewRandom(d.In, d.Out, scale, seed+int64(i))
+	}
+	return out
+}

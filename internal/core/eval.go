@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"piumagcn/internal/tensor"
+)
+
+// Predict returns the per-row argmax class of a logits matrix.
+func Predict(logits *tensor.Matrix) []int {
+	out := make([]int, logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Matrix, labels []int) (float64, error) {
+	if logits.Rows != len(labels) {
+		return 0, fmt.Errorf("core: %d logit rows for %d labels", logits.Rows, len(labels))
+	}
+	if len(labels) == 0 {
+		return 0, fmt.Errorf("core: no labels to score")
+	}
+	pred := Predict(logits)
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels)), nil
+}

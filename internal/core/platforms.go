@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"piumagcn/internal/gpu"
+	"piumagcn/internal/piuma/model"
+	"piumagcn/internal/xeon"
+)
+
+// CPUPlatform adapts the Xeon model (Section III) to the Platform
+// interface.
+type CPUPlatform struct {
+	Params xeon.Params
+	// Threads is the software thread count (<= 0 means all physical
+	// cores — the paper's baseline configuration).
+	Threads int
+}
+
+// NewCPU returns the default dual-socket Xeon 8380 platform.
+func NewCPU() *CPUPlatform {
+	return &CPUPlatform{Params: xeon.DefaultParams()}
+}
+
+// Name implements Platform.
+func (c *CPUPlatform) Name() string { return "xeon-8380-2s" }
+
+func (c *CPUPlatform) threads() int {
+	if c.Threads > 0 {
+		return c.Threads
+	}
+	return c.Params.PhysicalCores()
+}
+
+func (c *CPUPlatform) workload(w Workload) xeon.Workload {
+	return xeon.Workload{V: w.V, E: w.E, Locality: w.Locality}
+}
+
+// RunGCN implements Platform: per layer, Dense MM at (in -> out), SpMM
+// at width out, then glue.
+func (c *CPUPlatform) RunGCN(w Workload, m Model) (Breakdown, error) {
+	if err := validatePair(w, m, c.Params.Validate()); err != nil {
+		return nil, err
+	}
+	t := c.threads()
+	xw := c.workload(w)
+	b := Breakdown{}
+	for _, d := range m.LayerDims(w) {
+		b[PhaseDense] += c.Params.DenseTime(w.V, int64(d.In), int64(d.Out), t)
+		b[PhaseSpMM] += c.Params.SpMMTime(xw, d.SpMMWidth(), t)
+		b[PhaseGlue] += c.Params.GlueTime(w.V, int64(d.Out), t)
+	}
+	return b, nil
+}
+
+// SpMMTime implements Platform.
+func (c *CPUPlatform) SpMMTime(w Workload, k int) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("core: non-positive embedding dimension %d", k)
+	}
+	return c.Params.SpMMTime(c.workload(w), k, c.threads()), nil
+}
+
+// GPUPlatform adapts the A100 model. Graphs that do not fit device
+// memory fall back to host-side full-neighbourhood sampling (the
+// papers100M path of Figure 4).
+type GPUPlatform struct {
+	Params gpu.Params
+}
+
+// NewGPU returns the default A100-40GB platform.
+func NewGPU() *GPUPlatform { return &GPUPlatform{Params: gpu.DefaultParams()} }
+
+// Name implements Platform.
+func (g *GPUPlatform) Name() string { return "a100-40gb" }
+
+func (g *GPUPlatform) workload(w Workload) gpu.Workload {
+	return gpu.Workload{V: w.V, E: w.E, InDim: w.InDim, Locality: w.Locality}
+}
+
+// RunGCN implements Platform.
+func (g *GPUPlatform) RunGCN(w Workload, m Model) (Breakdown, error) {
+	if err := validatePair(w, m, g.Params.Validate()); err != nil {
+		return nil, err
+	}
+	gw := g.workload(w)
+	b := Breakdown{}
+	fits := g.Params.Fits(gw, m.Hidden)
+	if fits {
+		// One-time offload of adjacency + input features; volume is
+		// independent of the hidden dimension (Section III-C).
+		b[PhaseOffload] += g.Params.OffloadTime(gw)
+	}
+	for _, d := range m.LayerDims(w) {
+		if !fits {
+			// The host gathers each layer's neighbourhood features and
+			// streams them to the device: sampling on CPU plus PCIe
+			// transfer accounted as offload.
+			gather, transfer := g.Params.SamplingTime(gw, d.In)
+			b[PhaseSampling] += gather
+			b[PhaseOffload] += transfer
+		}
+		b[PhaseDense] += g.Params.DenseTime(w.V, int64(d.In), int64(d.Out))
+		b[PhaseSpMM] += g.Params.SpMMTime(gw, d.SpMMWidth())
+		b[PhaseGlue] += g.Params.GlueTime(w.V, int64(d.Out))
+	}
+	return b, nil
+}
+
+// SpMMTime implements Platform (device-resident kernel time).
+func (g *GPUPlatform) SpMMTime(w Workload, k int) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("core: non-positive embedding dimension %d", k)
+	}
+	return g.Params.SpMMTime(g.workload(w), k), nil
+}
+
+// PIUMAPlatform adapts the calibrated PIUMA node model.
+type PIUMAPlatform struct {
+	Node model.Node
+}
+
+// NewPIUMA returns the default 256-core PIUMA node.
+func NewPIUMA() *PIUMAPlatform { return &PIUMAPlatform{Node: model.DefaultNode()} }
+
+// Name implements Platform.
+func (p *PIUMAPlatform) Name() string { return "piuma-node" }
+
+// RunGCN implements Platform.
+func (p *PIUMAPlatform) RunGCN(w Workload, m Model) (Breakdown, error) {
+	if err := validatePair(w, m, p.Node.Validate()); err != nil {
+		return nil, err
+	}
+	if !p.Node.Fits(w.V, w.E, m.Hidden) {
+		return nil, fmt.Errorf("core: workload %q exceeds PIUMA DGAS capacity", w.Name)
+	}
+	b := Breakdown{}
+	for _, d := range m.LayerDims(w) {
+		dense, err := p.Node.DenseTime(w.V, int64(d.In), int64(d.Out))
+		if err != nil {
+			return nil, err
+		}
+		sp, err := p.Node.SpMMTime(w.V, w.E, d.SpMMWidth())
+		if err != nil {
+			return nil, err
+		}
+		glue, err := p.Node.GlueTime(w.V, int64(d.Out))
+		if err != nil {
+			return nil, err
+		}
+		b[PhaseDense] += dense
+		b[PhaseSpMM] += sp
+		b[PhaseGlue] += glue
+	}
+	return b, nil
+}
+
+// SpMMTime implements Platform.
+func (p *PIUMAPlatform) SpMMTime(w Workload, k int) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	return p.Node.SpMMTime(w.V, w.E, k)
+}
+
+// validatePair folds the three validations every RunGCN needs.
+func validatePair(w Workload, m Model, platformErr error) error {
+	if platformErr != nil {
+		return platformErr
+	}
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	return m.Validate()
+}

@@ -1,0 +1,228 @@
+package core
+
+// train.go implements full-batch GCN training — forward pass with
+// cached activations, cross-entropy loss, exact backpropagation through
+// the aggregation (Ãᵀ·G, using the paper's own SpMM kernels) and the
+// dense updates, and SGD. The paper characterizes inference, but its
+// Section VI points at training (sampling-based methods) as the next
+// workload; a runnable training loop also gives the reproduction an
+// executable correctness anchor: gradients are verified against finite
+// differences in the tests.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"piumagcn/internal/graph"
+	"piumagcn/internal/spmm"
+	"piumagcn/internal/tensor"
+)
+
+// Trainer holds the state of full-batch GCN training on one graph.
+type Trainer struct {
+	// A is the GCN-normalized adjacency; AT its transpose (equal to A
+	// for the symmetric normalization, kept explicit for generality).
+	A, AT *graph.CSR
+	// X is the input feature matrix (|V| x InDim).
+	X *tensor.Matrix
+	// Labels assigns a class in [0, classes) to every vertex.
+	Labels []int
+	// Weights are the layer parameters, updated in place by Step.
+	Weights []*tensor.Matrix
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Workers bounds kernel parallelism (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+// NewTrainer validates and assembles a trainer. The adjacency must be
+// GCN-normalized (or at least non-negative); labels must be in range
+// for the final layer width.
+func NewTrainer(a *graph.CSR, x *tensor.Matrix, labels []int, weights []*tensor.Matrix, lr float64) (*Trainer, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if a.NumVertices != x.Rows {
+		return nil, fmt.Errorf("core: %d vertices but %d feature rows", a.NumVertices, x.Rows)
+	}
+	if len(labels) != a.NumVertices {
+		return nil, fmt.Errorf("core: %d labels for %d vertices", len(labels), a.NumVertices)
+	}
+	if len(weights) == 0 {
+		return nil, errors.New("core: no layer weights")
+	}
+	if lr <= 0 {
+		return nil, fmt.Errorf("core: learning rate %v must be positive", lr)
+	}
+	classes := weights[len(weights)-1].Cols
+	for v, l := range labels {
+		if l < 0 || l >= classes {
+			return nil, fmt.Errorf("core: label %d at vertex %d out of [0,%d)", l, v, classes)
+		}
+	}
+	return &Trainer{
+		A:            a,
+		AT:           a.Transpose(),
+		X:            x,
+		Labels:       labels,
+		Weights:      weights,
+		LearningRate: lr,
+	}, nil
+}
+
+// forwardCache keeps per-layer intermediates for backprop.
+type forwardCache struct {
+	inputs []*tensor.Matrix // H_{i-1} entering layer i
+	aggs   []*tensor.Matrix // Ã·(H_{i-1}·W_i), pre-activation
+	out    *tensor.Matrix   // logits
+}
+
+func (t *Trainer) forward() (*forwardCache, error) {
+	c := &forwardCache{}
+	h := t.X
+	for i, w := range t.Weights {
+		c.inputs = append(c.inputs, h)
+		hw, err := tensor.ParMatMul(h, w, t.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d dense: %w", i, err)
+		}
+		agg, err := spmm.VertexParallel(t.A, hw, t.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d aggregate: %w", i, err)
+		}
+		c.aggs = append(c.aggs, agg)
+		if i < len(t.Weights)-1 {
+			h = tensor.ReLU(agg.Clone())
+		} else {
+			h = agg
+		}
+	}
+	c.out = h
+	return c, nil
+}
+
+// Loss returns the mean cross-entropy of the current parameters.
+func (t *Trainer) Loss() (float64, error) {
+	c, err := t.forward()
+	if err != nil {
+		return 0, err
+	}
+	return t.lossFromLogits(c.out), nil
+}
+
+func (t *Trainer) lossFromLogits(logits *tensor.Matrix) float64 {
+	probs := tensor.SoftmaxRows(logits.Clone())
+	loss := 0.0
+	for v, l := range t.Labels {
+		p := probs.At(v, l)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(len(t.Labels))
+}
+
+// Step performs one full-batch gradient step and returns the loss
+// *before* the update.
+func (t *Trainer) Step() (float64, error) {
+	c, err := t.forward()
+	if err != nil {
+		return 0, err
+	}
+	loss := t.lossFromLogits(c.out)
+
+	// dL/dlogits = (softmax - onehot) / n.
+	n := float64(len(t.Labels))
+	grad := tensor.SoftmaxRows(c.out.Clone())
+	for v, l := range t.Labels {
+		grad.Set(v, l, grad.At(v, l)-1)
+	}
+	tensor.Scale(grad, 1/n)
+
+	for i := len(t.Weights) - 1; i >= 0; i-- {
+		if i < len(t.Weights)-1 {
+			// Backward through the hidden ReLU: the layer's output fed
+			// the next layer as ReLU(agg).
+			if _, err := tensor.HadamardReLUMask(grad, c.aggs[i]); err != nil {
+				return 0, err
+			}
+		}
+		// Backward through aggregation: dZ = Ãᵀ·dA.
+		dz, err := spmm.VertexParallel(t.AT, grad, t.Workers)
+		if err != nil {
+			return 0, fmt.Errorf("core: layer %d backward aggregate: %w", i, err)
+		}
+		// Weight gradient: dW = H_{i-1}ᵀ·dZ.
+		dw, err := tensor.MatMulATB(c.inputs[i], dz)
+		if err != nil {
+			return 0, fmt.Errorf("core: layer %d weight grad: %w", i, err)
+		}
+		// Input gradient for the next iteration: dH = dZ·Wᵀ (before
+		// the update).
+		if i > 0 {
+			grad, err = tensor.MatMulABT(dz, t.Weights[i])
+			if err != nil {
+				return 0, fmt.Errorf("core: layer %d input grad: %w", i, err)
+			}
+		}
+		if _, err := tensor.AddScaled(t.Weights[i], dw, -t.LearningRate); err != nil {
+			return 0, err
+		}
+	}
+	return loss, nil
+}
+
+// Fit runs epochs steps and returns the per-epoch losses.
+func (t *Trainer) Fit(epochs int) ([]float64, error) {
+	if epochs <= 0 {
+		return nil, fmt.Errorf("core: epochs %d must be positive", epochs)
+	}
+	losses := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		l, err := t.Step()
+		if err != nil {
+			return losses, err
+		}
+		losses = append(losses, l)
+	}
+	return losses, nil
+}
+
+// Accuracy returns the argmax classification accuracy of the current
+// parameters over all vertices.
+func (t *Trainer) Accuracy() (float64, error) {
+	c, err := t.forward()
+	if err != nil {
+		return 0, err
+	}
+	return Accuracy(c.out, t.Labels)
+}
+
+// WeightGradients returns the current full-batch gradients without
+// updating the weights — used by the finite-difference tests.
+func (t *Trainer) WeightGradients() ([]*tensor.Matrix, error) {
+	saved := make([]*tensor.Matrix, len(t.Weights))
+	for i, w := range t.Weights {
+		saved[i] = w.Clone()
+	}
+	lr := t.LearningRate
+	t.LearningRate = 1
+	if _, err := t.Step(); err != nil {
+		t.LearningRate = lr
+		return nil, err
+	}
+	grads := make([]*tensor.Matrix, len(t.Weights))
+	for i := range t.Weights {
+		// After a unit-LR step, W' = W - dW, so dW = W - W'.
+		g := saved[i].Clone()
+		if _, err := tensor.AddScaled(g, t.Weights[i], -1); err != nil {
+			return nil, err
+		}
+		grads[i] = g
+		t.Weights[i] = saved[i]
+	}
+	t.LearningRate = lr
+	return grads, nil
+}

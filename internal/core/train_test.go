@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"piumagcn/internal/graph"
+	"piumagcn/internal/rmat"
+	"piumagcn/internal/tensor"
+)
+
+func trainerSetup(t testing.TB, seed int64) *Trainer {
+	t.Helper()
+	raw, err := rmat.GenerateCSR(rmat.PowerLaw(6, 5, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := graph.NormalizeGCN(raw)
+	n := a.NumVertices
+	const classes = 3
+	w := Workload{Name: "train", V: int64(n), E: a.NumEdges(), InDim: 8, OutDim: classes, Locality: 0}
+	m := Model{Layers: 2, Hidden: 6}
+	x := tensor.NewRandom(n, w.InDim, 1, seed+1)
+	weights := GlorotWeights(m, w, seed+2)
+	rng := rand.New(rand.NewSource(seed + 3))
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(classes)
+	}
+	tr, err := NewTrainer(a, x, labels, weights, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	tr := trainerSetup(t, 1)
+	if _, err := NewTrainer(tr.A, tr.X, tr.Labels[:2], tr.Weights, 0.1); err == nil {
+		t.Fatal("expected error for label count mismatch")
+	}
+	if _, err := NewTrainer(tr.A, tr.X, tr.Labels, nil, 0.1); err == nil {
+		t.Fatal("expected error for no weights")
+	}
+	if _, err := NewTrainer(tr.A, tr.X, tr.Labels, tr.Weights, 0); err == nil {
+		t.Fatal("expected error for zero learning rate")
+	}
+	bad := append([]int(nil), tr.Labels...)
+	bad[0] = 99
+	if _, err := NewTrainer(tr.A, tr.X, bad, tr.Weights, 0.1); err == nil {
+		t.Fatal("expected error for out-of-range label")
+	}
+	wrongX := tensor.New(tr.X.Rows+1, tr.X.Cols)
+	if _, err := NewTrainer(tr.A, wrongX, tr.Labels, tr.Weights, 0.1); err == nil {
+		t.Fatal("expected error for feature row mismatch")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	tr := trainerSetup(t, 2)
+	losses, err := tr.Fit(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %.4f -> %.4f", losses[0], losses[len(losses)-1])
+	}
+	// Full-batch GD on a small graph should overfit well past chance.
+	acc, err := tr.Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.4 {
+		t.Fatalf("post-training accuracy %.2f below expectation", acc)
+	}
+}
+
+func TestFitRejectsBadEpochs(t *testing.T) {
+	tr := trainerSetup(t, 3)
+	if _, err := tr.Fit(0); err == nil {
+		t.Fatal("expected error for zero epochs")
+	}
+}
+
+func TestLossMatchesStepReport(t *testing.T) {
+	tr := trainerSetup(t, 4)
+	before, err := tr.Loss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reported, err := tr.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before-reported) > 1e-12 {
+		t.Fatalf("Step reported loss %v, Loss() said %v", reported, before)
+	}
+}
+
+// The backprop gradients must match central finite differences on a
+// sample of weight entries — the exactness anchor for the whole
+// training path (dense, SpMM and ReLU backward passes).
+func TestGradientsMatchFiniteDifferences(t *testing.T) {
+	tr := trainerSetup(t, 5)
+	grads, err := tr.WeightGradients()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	rng := rand.New(rand.NewSource(9))
+	for layer, w := range tr.Weights {
+		for trial := 0; trial < 6; trial++ {
+			idx := rng.Intn(len(w.Data))
+			orig := w.Data[idx]
+			w.Data[idx] = orig + eps
+			lp, err := tr.Loss()
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Data[idx] = orig - eps
+			lm, err := tr.Loss()
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Data[idx] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := grads[layer].Data[idx]
+			diff := math.Abs(numeric - analytic)
+			scale := math.Max(1e-6, math.Max(math.Abs(numeric), math.Abs(analytic)))
+			if diff/scale > 1e-4 {
+				t.Fatalf("layer %d idx %d: analytic %v vs numeric %v", layer, idx, analytic, numeric)
+			}
+		}
+	}
+}
+
+// WeightGradients must not change the parameters.
+func TestWeightGradientsIsPure(t *testing.T) {
+	tr := trainerSetup(t, 6)
+	before := make([]*tensor.Matrix, len(tr.Weights))
+	for i, w := range tr.Weights {
+		before[i] = w.Clone()
+	}
+	if _, err := tr.WeightGradients(); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range tr.Weights {
+		if !tensor.AlmostEqual(w, before[i], 0) {
+			t.Fatalf("layer %d weights changed", i)
+		}
+	}
+	lr := tr.LearningRate
+	if lr != 0.5 {
+		t.Fatalf("learning rate not restored: %v", lr)
+	}
+}
+
+func TestThreeLayerTraining(t *testing.T) {
+	raw, err := rmat.GenerateCSR(rmat.PowerLaw(6, 5, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := graph.NormalizeGCN(raw)
+	n := a.NumVertices
+	w := Workload{Name: "t3", V: int64(n), E: a.NumEdges(), InDim: 8, OutDim: 4, Locality: 0}
+	m := DefaultModel(8) // 3 layers
+	x := tensor.NewRandom(n, w.InDim, 1, 12)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	tr, err := NewTrainer(a, x, labels, GlorotWeights(m, w, 13), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses, err := tr.Fit(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("3-layer loss did not decrease: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+}

@@ -1,0 +1,147 @@
+// Package distributed models the message-passing CPU cluster that
+// Section V-A contrasts with PIUMA's DGAS: scaling SpMM across Xeon
+// nodes requires partitioning the graph (vertex or edge cuts) and
+// exchanging boundary feature vectors over the interconnect every
+// layer, while PIUMA nodes simply address remote memory. The model
+// quantifies the "Scalability! But at what COST?" overhead the paper
+// cites [24]: cut traffic grows with node count for power-law graphs,
+// so distributed-CPU SpMM scales sublinearly while PIUMA's aggregate
+// bandwidth scales linearly.
+package distributed
+
+import (
+	"errors"
+	"math"
+
+	"piumagcn/internal/xeon"
+)
+
+// Cluster describes a message-passing CPU cluster.
+type Cluster struct {
+	// Node is the per-node CPU model (a Xeon 8380 2S node).
+	Node xeon.Params
+	// Nodes is the cluster size.
+	Nodes int
+	// InterconnectBandwidth is the per-node network bandwidth in
+	// bytes/s (e.g. 200 Gb/s HDR InfiniBand ≈ 25 GB/s).
+	InterconnectBandwidth float64
+	// MessageLatency is the per-exchange software+network latency
+	// (MPI overhead per collective step).
+	MessageLatency float64
+	// CutFraction is the fraction of edges crossing partitions with a
+	// good partitioner at 2 nodes; the model grows it with log2(nodes)
+	// toward the random-cut limit (power-law graphs partition badly).
+	CutFraction float64
+}
+
+// DefaultCluster returns a calibrated cluster of n Xeon nodes.
+func DefaultCluster(n int) Cluster {
+	return Cluster{
+		Node:                  xeon.DefaultParams(),
+		Nodes:                 n,
+		InterconnectBandwidth: 25e9,
+		MessageLatency:        20e-6,
+		CutFraction:           0.15,
+	}
+}
+
+// Validate rejects non-physical clusters.
+func (c Cluster) Validate() error {
+	if err := c.Node.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Nodes <= 0:
+		return errors.New("distributed: need at least one node")
+	case c.InterconnectBandwidth <= 0:
+		return errors.New("distributed: interconnect bandwidth must be positive")
+	case c.MessageLatency < 0:
+		return errors.New("distributed: negative message latency")
+	case c.CutFraction < 0 || c.CutFraction > 1:
+		return errors.New("distributed: cut fraction out of [0,1]")
+	}
+	return nil
+}
+
+// EdgeCutFraction estimates the fraction of edges whose endpoints land
+// on different nodes. One node has no cut; the cut grows with the
+// partition count and saturates at the random limit 1 - 1/n.
+func (c Cluster) EdgeCutFraction() float64 {
+	if c.Nodes <= 1 {
+		return 0
+	}
+	grown := c.CutFraction * math.Log2(float64(c.Nodes))
+	limit := 1 - 1/float64(c.Nodes)
+	return math.Min(grown, limit)
+}
+
+// SpMMTime models one distributed aggregation at embedding width k:
+// local compute on 1/n of the edges (at full per-node bandwidth) plus
+// the boundary exchange — every cut edge ships one k-wide feature row —
+// plus per-layer MPI latency. The cut fraction comes from the model's
+// growth curve; use SpMMTimeWithCut to plug in a measured cut from
+// internal/partition.
+func (c Cluster) SpMMTime(w xeon.Workload, k int) (float64, error) {
+	return c.SpMMTimeWithCut(w, k, c.EdgeCutFraction())
+}
+
+// SpMMTimeWithCut is SpMMTime with an explicit edge-cut fraction —
+// typically measured by partitioning a synthetic stand-in with
+// internal/partition rather than assumed.
+func (c Cluster) SpMMTimeWithCut(w xeon.Workload, k int, cut float64) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if k <= 0 {
+		return 0, errors.New("distributed: embedding dimension must be positive")
+	}
+	if cut < 0 || cut > 1 {
+		return 0, errors.New("distributed: cut fraction out of [0,1]")
+	}
+	threads := c.Node.PhysicalCores()
+	local := xeon.Workload{
+		V:        w.V / int64(c.Nodes),
+		E:        w.E / int64(c.Nodes),
+		Locality: w.Locality,
+	}
+	compute := c.Node.SpMMTime(local, k, threads)
+	if c.Nodes == 1 {
+		return compute, nil
+	}
+	exchangeBytes := cut * float64(w.E) * float64(k) * 4 / float64(c.Nodes)
+	exchange := exchangeBytes/c.InterconnectBandwidth + c.MessageLatency
+	return compute + exchange, nil
+}
+
+// PIUMAScaledTime is the DGAS counterpart: n PIUMA nodes multiply the
+// aggregate bandwidth with no partitioning or exchange phase (remote
+// traffic rides the latency-tolerant network, Key Takeaway 1 of
+// Section V-A). baseTime is the single-node SpMM time.
+func PIUMAScaledTime(baseTime float64, nodes int) (float64, error) {
+	if nodes <= 0 {
+		return 0, errors.New("distributed: need at least one node")
+	}
+	if baseTime < 0 {
+		return 0, errors.New("distributed: negative base time")
+	}
+	return baseTime / float64(nodes), nil
+}
+
+// ParallelEfficiency returns speedup(n)/n for the cluster relative to
+// one node — the quantity that exposes the MPI scaling tax.
+func (c Cluster) ParallelEfficiency(w xeon.Workload, k int) (float64, error) {
+	single := DefaultCluster(1)
+	single.Node = c.Node
+	t1, err := single.SpMMTime(w, k)
+	if err != nil {
+		return 0, err
+	}
+	tn, err := c.SpMMTime(w, k)
+	if err != nil {
+		return 0, err
+	}
+	if tn <= 0 {
+		return 0, errors.New("distributed: non-positive cluster time")
+	}
+	return t1 / tn / float64(c.Nodes), nil
+}

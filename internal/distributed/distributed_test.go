@@ -1,0 +1,122 @@
+package distributed
+
+import (
+	"testing"
+
+	"piumagcn/internal/xeon"
+)
+
+func productsW() xeon.Workload {
+	return xeon.Workload{V: 2_449_029, E: 61_859_140, Locality: 0.5}
+}
+
+func TestDefaultClusterValid(t *testing.T) {
+	if err := DefaultCluster(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	muts := []func(*Cluster){
+		func(c *Cluster) { c.Nodes = 0 },
+		func(c *Cluster) { c.InterconnectBandwidth = 0 },
+		func(c *Cluster) { c.MessageLatency = -1 },
+		func(c *Cluster) { c.CutFraction = 1.5 },
+		func(c *Cluster) { c.Node.ClockGHz = 0 },
+	}
+	for i, mut := range muts {
+		c := DefaultCluster(2)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEdgeCutGrowsAndSaturates(t *testing.T) {
+	if cut := DefaultCluster(1).EdgeCutFraction(); cut != 0 {
+		t.Fatalf("single node cut = %v", cut)
+	}
+	c2 := DefaultCluster(2).EdgeCutFraction()
+	c8 := DefaultCluster(8).EdgeCutFraction()
+	c1024 := DefaultCluster(1024).EdgeCutFraction()
+	if !(c2 < c8) {
+		t.Fatalf("cut should grow with nodes: %v %v", c2, c8)
+	}
+	if c1024 > 1-1.0/1024+1e-12 {
+		t.Fatalf("cut %v exceeds the random limit", c1024)
+	}
+}
+
+func TestSpMMTimeErrors(t *testing.T) {
+	c := DefaultCluster(4)
+	if _, err := c.SpMMTime(productsW(), 0); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+	c.Nodes = 0
+	if _, err := c.SpMMTime(productsW(), 64); err == nil {
+		t.Fatal("expected error for invalid cluster")
+	}
+}
+
+// Section V-A / [24]: the cluster speeds up with nodes, but parallel
+// efficiency decays, while PIUMA's DGAS scaling is perfect by
+// construction.
+func TestClusterEfficiencyDecays(t *testing.T) {
+	w := productsW()
+	const k = 256
+	e2, err := DefaultCluster(2).ParallelEfficiency(w, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e16, err := DefaultCluster(16).ParallelEfficiency(w, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e16 >= e2 {
+		t.Fatalf("efficiency should decay with nodes: e2=%.2f e16=%.2f", e2, e16)
+	}
+	if e16 > 0.9 {
+		t.Fatalf("16-node efficiency %.2f suspiciously high for a power-law cut", e16)
+	}
+	if e2 <= 0 || e2 > 1.2 {
+		t.Fatalf("2-node efficiency %.2f out of range", e2)
+	}
+}
+
+func TestPIUMAScaledTime(t *testing.T) {
+	tm, err := PIUMAScaledTime(1.0, 4)
+	if err != nil || tm != 0.25 {
+		t.Fatalf("PIUMAScaledTime = %v, %v", tm, err)
+	}
+	if _, err := PIUMAScaledTime(1, 0); err == nil {
+		t.Fatal("expected error for zero nodes")
+	}
+	if _, err := PIUMAScaledTime(-1, 2); err == nil {
+		t.Fatal("expected error for negative time")
+	}
+}
+
+// PIUMA's DGAS scaling beats the cluster at every node count >= 2 on a
+// bandwidth-equal footing.
+func TestDGASBeatsMPI(t *testing.T) {
+	w := productsW()
+	const k = 256
+	base, err := DefaultCluster(1).SpMMTime(w, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 8, 16} {
+		cluster, err := DefaultCluster(n).SpMMTime(w, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dgas, err := PIUMAScaledTime(base, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dgas >= cluster {
+			t.Fatalf("n=%d: DGAS (%.4g) should beat MPI (%.4g)", n, dgas, cluster)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package gpu models the paper's GPU baseline: an NVIDIA A100-40GB with
+// a PCIe 4.0 host link (Section III-A, results imported from [16]).
+//
+// The model captures the two regimes Figure 4 and Figure 9 report:
+//
+//   - Graphs that fit in the 40 GB device memory pay a one-time offload
+//     of the adjacency structure and input features over PCIe, then run
+//     fast HBM-roofline kernels. Offload dominates end-to-end time,
+//     which is why the GPU loses to the CPU at small embedding
+//     dimensions and wins at large ones (compute grows, offload
+//     doesn't).
+//
+//   - Graphs that do NOT fit (papers100M) fall back to CPU-side
+//     full-neighbourhood layer-wise sampling: the host gathers each
+//     layer's neighbourhood features at CPU random-access bandwidth and
+//     streams batches over PCIe. Sampling plus offload consumes >99% of
+//     execution time (Figure 4), the paper's key GPU-scalability
+//     finding.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params describes the modelled GPU platform.
+type Params struct {
+	// HBMBytes is device memory capacity (40 GB).
+	HBMBytes int64
+	// HBMBandwidth is device memory bandwidth (bytes/s).
+	HBMBandwidth float64
+	// PCIeBandwidth is the effective host-device transfer rate.
+	PCIeBandwidth float64
+	// DenseFLOPS is the achievable dense throughput (fp32 with
+	// framework efficiency already applied).
+	DenseFLOPS float64
+	// SpMMEfficiency discounts HBM bandwidth for irregular gathers.
+	SpMMEfficiency float64
+	// L2Bytes and L2Bandwidth model the device cache: feature matrices
+	// that fit in L2 serve gathers at cache speed — the "small graphs
+	// with good locality (ddi, proteins)" advantage of Figure 9.
+	L2Bytes     int64
+	L2Bandwidth float64
+	// HostGatherBandwidth is the CPU-side effective bandwidth for
+	// neighbourhood sampling gathers (random access on the host).
+	HostGatherBandwidth float64
+	// SamplingExpansion is the average duplication factor of
+	// full-neighbourhood layer-wise sampling: every edge endpoint's
+	// feature row is materialized per batch, so the host moves
+	// ~E·K·bytes per layer rather than V·K.
+	SamplingExpansion float64
+	// KernelLaunchOverhead is the per-kernel launch constant (seconds).
+	KernelLaunchOverhead float64
+	// FeatureBytes per element (fp32).
+	FeatureBytes int
+	// RowPtrBytes/ColIndexBytes/ValueBytes describe the CSR offload.
+	RowPtrBytes, ColIndexBytes, ValueBytes int
+}
+
+// DefaultParams returns the calibrated A100-40GB + PCIe 4.0 platform.
+func DefaultParams() Params {
+	return Params{
+		HBMBytes:             40 << 30,
+		HBMBandwidth:         1.555e12,
+		PCIeBandwidth:        25e9,
+		DenseFLOPS:           10e12,
+		SpMMEfficiency:       0.6,
+		L2Bytes:              40 << 20,
+		L2Bandwidth:          4e12,
+		HostGatherBandwidth:  6e9,
+		SamplingExpansion:    1.5,
+		KernelLaunchOverhead: 10e-6,
+		FeatureBytes:         4,
+		RowPtrBytes:          8,
+		ColIndexBytes:        8,
+		ValueBytes:           4,
+	}
+}
+
+// Validate rejects non-physical parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.HBMBytes <= 0:
+		return errors.New("gpu: HBM capacity must be positive")
+	case p.HBMBandwidth <= 0 || p.PCIeBandwidth <= 0 || p.HostGatherBandwidth <= 0:
+		return errors.New("gpu: bandwidths must be positive")
+	case p.DenseFLOPS <= 0:
+		return errors.New("gpu: dense FLOPS must be positive")
+	case p.SpMMEfficiency <= 0 || p.SpMMEfficiency > 1:
+		return errors.New("gpu: SpMM efficiency out of (0,1]")
+	case p.L2Bytes <= 0 || p.L2Bandwidth <= 0:
+		return errors.New("gpu: L2 parameters must be positive")
+	case p.SamplingExpansion <= 0:
+		return errors.New("gpu: sampling expansion must be positive")
+	case p.KernelLaunchOverhead < 0:
+		return errors.New("gpu: negative launch overhead")
+	case p.FeatureBytes <= 0 || p.RowPtrBytes <= 0 || p.ColIndexBytes <= 0 || p.ValueBytes <= 0:
+		return errors.New("gpu: element sizes must be positive")
+	}
+	return nil
+}
+
+// Workload mirrors xeon.Workload: the graph-shape inputs of the model.
+type Workload struct {
+	V int64
+	E int64
+	// InDim is the dataset's input feature width (offload volume).
+	InDim int
+	// Locality in [0,1] is the vertex-ordering locality; scattered
+	// gathers coalesce poorly on GPUs, so low-locality graphs
+	// (power-law RMAT) see a fraction of the HBM gather bandwidth —
+	// the Figure 9 finding that PIUMA "significantly outperformed GPU
+	// on SpMM for graphs with low locality (power-16/power-22)".
+	Locality float64
+}
+
+// gatherEfficiency scales the SpMM gather bandwidth by coalescing
+// quality: fully local orders keep the full discount-adjusted rate,
+// scattered orders drop to about a third of it.
+func (p Params) gatherEfficiency(w Workload) float64 {
+	loc := math.Max(0, math.Min(1, w.Locality))
+	return p.SpMMEfficiency * (0.35 + 0.65*loc)
+}
+
+// CSRBytes returns the adjacency offload volume.
+func (p Params) CSRBytes(w Workload) float64 {
+	return float64(w.V+1)*float64(p.RowPtrBytes) + float64(w.E)*float64(p.ColIndexBytes+p.ValueBytes)
+}
+
+// Footprint returns the device-memory bytes needed to hold the graph,
+// the input features and double-buffered activations of width k.
+func (p Params) Footprint(w Workload, k int) float64 {
+	feats := float64(w.V) * float64(w.InDim) * float64(p.FeatureBytes)
+	acts := 2 * float64(w.V) * float64(k) * float64(p.FeatureBytes)
+	return p.CSRBytes(w) + feats + acts
+}
+
+// Fits reports whether the workload fits in device memory at hidden
+// width k. All Table I graphs except papers fit on the A100 (Figure 4).
+func (p Params) Fits(w Workload, k int) bool {
+	return p.Footprint(w, k) <= float64(p.HBMBytes)
+}
+
+// OffloadTime returns the host-to-device transfer time for the
+// adjacency and input features. The paper notes this volume is
+// independent of the hidden embedding dimension (only hidden layers are
+// swept), which is why the GPU's *relative* offload share shrinks as K
+// grows.
+func (p Params) OffloadTime(w Workload) float64 {
+	bytes := p.CSRBytes(w) + float64(w.V)*float64(w.InDim)*float64(p.FeatureBytes)
+	return bytes / p.PCIeBandwidth
+}
+
+// SpMMTime models the aggregation kernel on device: HBM roofline with a
+// gather discount, except that feature matrices fitting in L2 serve
+// gathers at cache bandwidth.
+func (p Params) SpMMTime(w Workload, k int) float64 {
+	if w.E == 0 || k <= 0 {
+		return p.KernelLaunchOverhead
+	}
+	csr := p.CSRBytes(w)
+	feat := float64(w.E) * float64(k) * float64(p.FeatureBytes)
+	wr := float64(w.V) * float64(k) * float64(p.FeatureBytes)
+	// Streaming CSR/write traffic coalesces regardless of ordering;
+	// the gathers pay the coalescing penalty unless the feature matrix
+	// is L2-resident (cache turnaround hides scatter).
+	featBW := p.HBMBandwidth * p.gatherEfficiency(w)
+	if float64(w.V)*float64(k)*float64(p.FeatureBytes) <= float64(p.L2Bytes) {
+		featBW = p.L2Bandwidth * p.SpMMEfficiency
+	}
+	return (csr+wr)/(p.HBMBandwidth*p.SpMMEfficiency) + feat/featBW + p.KernelLaunchOverhead
+}
+
+// DenseTime models the update kernel on device.
+func (p Params) DenseTime(v, kin, kout int64) float64 {
+	if v == 0 || kin == 0 || kout == 0 {
+		return p.KernelLaunchOverhead
+	}
+	flop := 2 * float64(v) * float64(kin) * float64(kout)
+	bytes := float64(v) * float64(kin+kout) * float64(p.FeatureBytes)
+	return math.Max(flop/p.DenseFLOPS, bytes/p.HBMBandwidth) + p.KernelLaunchOverhead
+}
+
+// GlueTime models activations and framework work per layer on device.
+func (p Params) GlueTime(v, k int64) float64 {
+	if v == 0 || k <= 0 {
+		return p.KernelLaunchOverhead
+	}
+	bytes := 2 * float64(v) * float64(k) * float64(p.FeatureBytes)
+	const glueLaunches = 4
+	return bytes/p.HBMBandwidth + glueLaunches*p.KernelLaunchOverhead
+}
+
+// SamplingTime models CPU-side full-neighbourhood layer-wise sampling
+// for one layer of width k: the host gathers every edge endpoint's
+// k-wide feature row at random-access bandwidth and streams the batch
+// over PCIe. This is the papers100M path of Figure 4 ("more than 75% of
+// the execution time was spent sampling on CPU").
+func (p Params) SamplingTime(w Workload, k int) (gather, transfer float64) {
+	if w.E == 0 || k <= 0 {
+		return 0, 0
+	}
+	bytes := float64(w.E) * float64(k) * float64(p.FeatureBytes) * p.SamplingExpansion
+	return bytes / p.HostGatherBandwidth, bytes / p.PCIeBandwidth
+}
+
+// String summarizes the platform.
+func (p Params) String() string {
+	return fmt.Sprintf("A100-%dGB (HBM %.2f TB/s, PCIe %.0f GB/s)",
+		p.HBMBytes>>30, p.HBMBandwidth/1e12, p.PCIeBandwidth/1e9)
+}

@@ -1,0 +1,337 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallCOO() *COO {
+	return &COO{
+		NumVertices: 4,
+		Edges: []Edge{
+			{0, 1, 1}, {0, 2, 2}, {1, 2, 3}, {2, 0, 4}, {3, 3, 5},
+		},
+	}
+}
+
+func TestFromCOOBasic(t *testing.T) {
+	m, err := FromCOO(smallCOO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumEdges(); got != 5 {
+		t.Fatalf("NumEdges = %d, want 5", got)
+	}
+	cols, vals := m.Row(0)
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 2 {
+		t.Fatalf("row 0 cols = %v", cols)
+	}
+	if vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("row 0 vals = %v", vals)
+	}
+	if m.Degree(3) != 1 {
+		t.Fatalf("Degree(3) = %d, want 1", m.Degree(3))
+	}
+}
+
+func TestFromCOOCoalescesDuplicates(t *testing.T) {
+	c := &COO{NumVertices: 2, Edges: []Edge{{0, 1, 1}, {0, 1, 2.5}, {1, 0, 1}}}
+	m, err := FromCOO(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 after coalescing", m.NumEdges())
+	}
+	_, vals := m.Row(0)
+	if vals[0] != 3.5 {
+		t.Fatalf("coalesced weight = %v, want 3.5", vals[0])
+	}
+}
+
+func TestFromCOORejectsOutOfRange(t *testing.T) {
+	c := &COO{NumVertices: 2, Edges: []Edge{{0, 5, 1}}}
+	if _, err := FromCOO(c); err == nil {
+		t.Fatal("expected error for out-of-range edge")
+	}
+	c = &COO{NumVertices: 2, Edges: []Edge{{-1, 0, 1}}}
+	if _, err := FromCOO(c); err == nil {
+		t.Fatal("expected error for negative endpoint")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	m, err := FromCOO(&COO{NumVertices: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumEdges() != 0 {
+		t.Fatal("empty graph has edges")
+	}
+	s := ComputeStats(m)
+	if s.NumVertices != 0 || s.NumEdges != 0 {
+		t.Fatalf("stats of empty graph: %+v", s)
+	}
+}
+
+func TestVerticesWithoutEdges(t *testing.T) {
+	m, err := FromCOO(&COO{NumVertices: 10, Edges: []Edge{{0, 9, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Degree(5) != 0 {
+		t.Fatal("isolated vertex has nonzero degree")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := randomCSR(rng, 50, 400)
+	tt := m.Transpose().Transpose()
+	if !equalCSR(m, tt) {
+		t.Fatal("transpose twice != identity")
+	}
+}
+
+func TestTransposePreservesEdges(t *testing.T) {
+	m, _ := FromCOO(smallCOO())
+	tr := m.Transpose()
+	if tr.NumEdges() != m.NumEdges() {
+		t.Fatalf("transpose edges %d != %d", tr.NumEdges(), m.NumEdges())
+	}
+	// Edge (0,2,2) must appear as (2,0,2) in the transpose.
+	cols, vals := tr.Row(2)
+	found := false
+	for i, c := range cols {
+		if c == 0 && vals[i] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("transposed edge (2,0,2) missing")
+	}
+}
+
+func TestAddSelfLoops(t *testing.T) {
+	m, _ := FromCOO(smallCOO())
+	withLoops := m.AddSelfLoops(1)
+	for u := 0; u < m.NumVertices; u++ {
+		cols, vals := withLoops.Row(u)
+		found := false
+		for i, c := range cols {
+			if int(c) == u {
+				found = true
+				// Vertex 3 already had a self loop of weight 5.
+				want := 1.0
+				if u == 3 {
+					want = 6.0
+				}
+				if vals[i] != want {
+					t.Fatalf("self loop weight at %d = %v, want %v", u, vals[i], want)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("vertex %d missing self loop", u)
+		}
+	}
+}
+
+func TestNormalizeGCNRowSums(t *testing.T) {
+	// For a symmetric unweighted graph, each normalized entry is
+	// 1/sqrt(d_u d_v); the spectral radius is <= 1. We check the known
+	// closed form on a path graph 0-1-2.
+	c := &COO{NumVertices: 3, Edges: []Edge{{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}}}
+	m, _ := FromCOO(c)
+	norm := NormalizeGCN(m)
+	// Degrees with self loops: d0 = 2, d1 = 3, d2 = 2.
+	cols, vals := norm.Row(0)
+	for i, col := range cols {
+		switch col {
+		case 0:
+			if !close(vals[i], 1.0/2.0) {
+				t.Fatalf("Ã[0,0] = %v, want 0.5", vals[i])
+			}
+		case 1:
+			if !close(vals[i], 1.0/math.Sqrt(6)) {
+				t.Fatalf("Ã[0,1] = %v, want 1/sqrt(6)", vals[i])
+			}
+		}
+	}
+}
+
+func TestNormalizeGCNSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Build a random symmetric graph.
+	var edges []Edge
+	n := 30
+	for i := 0; i < 200; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		edges = append(edges, Edge{u, v, 1}, Edge{v, u, 1})
+	}
+	m, _ := FromCOO(&COO{NumVertices: n, Edges: edges})
+	norm := NormalizeGCN(m)
+	tr := norm.Transpose()
+	if !almostEqualCSR(norm, tr, 1e-12) {
+		t.Fatal("GCN normalization of a symmetric graph is not symmetric")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	m, _ := FromCOO(smallCOO())
+	s := ComputeStats(m)
+	if s.NumVertices != 4 || s.NumEdges != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !close(s.Density, 5.0/16.0) {
+		t.Fatalf("density = %v", s.Density)
+	}
+	if !close(s.AvgDegree, 1.25) {
+		t.Fatalf("avg degree = %v", s.AvgDegree)
+	}
+	if s.MaxDegree != 2 {
+		t.Fatalf("max degree = %v", s.MaxDegree)
+	}
+}
+
+func TestDegreeCVUniformVsSkewed(t *testing.T) {
+	// A ring has CV 0; a star has large CV.
+	n := 64
+	ring := make([]Edge, n)
+	for i := range ring {
+		ring[i] = Edge{int32(i), int32((i + 1) % n), 1}
+	}
+	rm, _ := FromCOO(&COO{NumVertices: n, Edges: ring})
+	if cv := ComputeStats(rm).DegreeCV; cv != 0 {
+		t.Fatalf("ring CV = %v, want 0", cv)
+	}
+	star := make([]Edge, n-1)
+	for i := range star {
+		star[i] = Edge{0, int32(i + 1), 1}
+	}
+	sm, _ := FromCOO(&COO{NumVertices: n, Edges: star})
+	if cv := ComputeStats(sm).DegreeCV; cv < 3 {
+		t.Fatalf("star CV = %v, want large", cv)
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	m, _ := FromCOO(smallCOO())
+	// Equation 1 with B_R=8, B_C=4, B_N=8: (|V|+1)*8 + |E|*4 + |E|*8.
+	want := int64(5*8 + 5*4 + 5*8)
+	if got := m.MemoryFootprint(8, 4, 8); got != want {
+		t.Fatalf("footprint = %d, want %d", got, want)
+	}
+}
+
+// Property: FromCOO always produces a structurally valid CSR whose edge
+// count never exceeds the input edge count (coalescing can only shrink).
+func TestQuickFromCOOValid(t *testing.T) {
+	f := func(seed int64, nRaw uint8, eRaw uint16) bool {
+		n := int(nRaw)%100 + 1
+		ne := int(eRaw) % 500
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]Edge, ne)
+		for i := range edges {
+			edges[i] = Edge{int32(rng.Intn(n)), int32(rng.Intn(n)), rng.Float64() + 0.1}
+		}
+		m, err := FromCOO(&COO{NumVertices: n, Edges: edges})
+		if err != nil {
+			return false
+		}
+		if m.Validate() != nil {
+			return false
+		}
+		if m.NumEdges() > int64(ne) {
+			return false
+		}
+		// Rows must be sorted strictly ascending after coalescing.
+		for u := 0; u < n; u++ {
+			cols, _ := m.Row(u)
+			for i := 1; i < len(cols); i++ {
+				if cols[i] <= cols[i-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose preserves the multiset of (src,dst,val) with src/dst
+// swapped; checked via total weight and edge count.
+func TestQuickTransposeConserves(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 40, 300)
+		tr := m.Transpose()
+		if tr.NumEdges() != m.NumEdges() {
+			return false
+		}
+		return close(sumVals(m), sumVals(tr))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomCSR(rng *rand.Rand, n, e int) *CSR {
+	edges := make([]Edge, e)
+	for i := range edges {
+		edges[i] = Edge{int32(rng.Intn(n)), int32(rng.Intn(n)), rng.Float64() + 0.1}
+	}
+	m, err := FromCOO(&COO{NumVertices: n, Edges: edges})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func sumVals(m *CSR) float64 {
+	s := 0.0
+	for _, v := range m.Val {
+		s += v
+	}
+	return s
+}
+
+func equalCSR(a, b *CSR) bool {
+	return almostEqualCSR(a, b, 0)
+}
+
+func almostEqualCSR(a, b *CSR, tol float64) bool {
+	if a.NumVertices != b.NumVertices || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for u := 0; u < a.NumVertices; u++ {
+		ac, av := a.Row(u)
+		bc, bv := b.Row(u)
+		if len(ac) != len(bc) {
+			return false
+		}
+		for i := range ac {
+			if ac[i] != bc[i] || math.Abs(av[i]-bv[i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(b))
+}

@@ -1,0 +1,185 @@
+package graph
+
+// io.go provides serialization for CSR matrices: a compact binary
+// format for checkpointing generated graphs (so large synthetic
+// instances can be reused across harness runs) and a text edge-list
+// format compatible with common graph tools.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// binaryMagic identifies the CSR binary format ("PGCSR" + version 1).
+var binaryMagic = [8]byte{'P', 'G', 'C', 'S', 'R', 0, 0, 1}
+
+// WriteBinary serializes m in the library's binary CSR format:
+// magic, |V|, |E|, row pointers, column indices, values (little
+// endian).
+func (m *CSR) WriteBinary(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("graph: refusing to write invalid CSR: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	header := []int64{int64(m.NumVertices), m.NumEdges()}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.RowPtr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.Col); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.Val); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a CSR written by WriteBinary and validates
+// it.
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, errors.New("graph: not a PGCSR file (bad magic)")
+	}
+	var nv, ne int64
+	if err := binary.Read(br, binary.LittleEndian, &nv); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &ne); err != nil {
+		return nil, err
+	}
+	if nv < 0 || ne < 0 {
+		return nil, fmt.Errorf("graph: negative sizes in header (%d, %d)", nv, ne)
+	}
+	const maxReasonable = int64(1) << 34
+	if nv > maxReasonable || ne > maxReasonable {
+		return nil, fmt.Errorf("graph: header sizes implausibly large (%d, %d)", nv, ne)
+	}
+	m := &CSR{
+		NumVertices: int(nv),
+		RowPtr:      make([]int64, nv+1),
+		Col:         make([]int32, ne),
+		Val:         make([]float64, ne),
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m.RowPtr); err != nil {
+		return nil, fmt.Errorf("graph: reading row pointers: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m.Col); err != nil {
+		return nil, fmt.Errorf("graph: reading columns: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m.Val); err != nil {
+		return nil, fmt.Errorf("graph: reading values: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: corrupt CSR: %w", err)
+	}
+	return m, nil
+}
+
+// WriteEdgeList writes "src dst weight" lines preceded by a comment
+// header — the interchange format of SNAP-style tools.
+func (m *CSR) WriteEdgeList(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("graph: refusing to write invalid CSR: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d edges %d\n", m.NumVertices, m.NumEdges()); err != nil {
+		return err
+	}
+	for u := 0; u < m.NumVertices; u++ {
+		cols, vals := m.Row(u)
+		for i, c := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", u, c, vals[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format (comment lines start
+// with '#'; a "# vertices N ..." header fixes the vertex count,
+// otherwise it is 1 + the largest endpoint). A missing weight column
+// defaults to 1.
+func ReadEdgeList(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	declared := -1
+	maxVertex := int32(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			for i := 0; i+1 < len(fields); i++ {
+				if fields[i] == "vertices" {
+					n, err := strconv.Atoi(fields[i+1])
+					if err == nil {
+						declared = n
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", line, text)
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source: %w", line, err)
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad destination: %w", line, err)
+		}
+		weight := 1.0
+		if len(fields) >= 3 {
+			weight, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %w", line, err)
+			}
+		}
+		e := Edge{Src: int32(src), Dst: int32(dst), Weight: weight}
+		if e.Src > maxVertex {
+			maxVertex = e.Src
+		}
+		if e.Dst > maxVertex {
+			maxVertex = e.Dst
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	n := int(maxVertex) + 1
+	if declared >= 0 {
+		if declared < n {
+			return nil, fmt.Errorf("graph: header declares %d vertices but edges reference %d", declared, n)
+		}
+		n = declared
+	}
+	return FromCOO(&COO{NumVertices: n, Edges: edges})
+}

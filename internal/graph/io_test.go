@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomCSR(rng, 60, 400)
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalCSR(m, got) {
+		t.Fatal("binary round trip changed the matrix")
+	}
+}
+
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	m, _ := FromCOO(&COO{NumVertices: 0})
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices != 0 || got.NumEdges() != 0 {
+		t.Fatal("empty round trip broken")
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a graph")); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	// Valid magic, truncated body.
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	buf.Write([]byte{1, 0, 0, 0})
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+}
+
+func TestReadBinaryRejectsImplausibleHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	// nv = 2^40 (implausible), ne = 0.
+	buf.Write([]byte{0, 0, 0, 0, 0, 1, 0, 0})
+	buf.Write(make([]byte, 8))
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("expected error for implausible vertex count")
+	}
+}
+
+func TestWriteBinaryRejectsInvalid(t *testing.T) {
+	bad := &CSR{NumVertices: 2, RowPtr: []int64{0, 1}, Col: []int32{0}, Val: []float64{1}}
+	if err := bad.WriteBinary(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for invalid CSR")
+	}
+	if err := bad.WriteEdgeList(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for invalid CSR")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomCSR(rng, 40, 200)
+	var buf bytes.Buffer
+	if err := m.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqualCSR(m, got, 1e-12) {
+		t.Fatal("edge-list round trip changed the matrix")
+	}
+}
+
+func TestReadEdgeListDefaults(t *testing.T) {
+	in := "0 1\n2 0 2.5\n\n# a comment\n"
+	m, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVertices != 3 || m.NumEdges() != 2 {
+		t.Fatalf("parsed %d vertices %d edges", m.NumVertices, m.NumEdges())
+	}
+	_, vals := m.Row(0)
+	if vals[0] != 1 {
+		t.Fatalf("default weight = %v, want 1", vals[0])
+	}
+}
+
+func TestReadEdgeListHeaderVertexCount(t *testing.T) {
+	in := "# vertices 10 edges 1\n0 1\n"
+	m, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVertices != 10 {
+		t.Fatalf("|V| = %d, want 10 from header", m.NumVertices)
+	}
+	// Header smaller than the edges reference: error.
+	bad := "# vertices 1\n0 5\n"
+	if _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected error for undersized header")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",       // too few fields
+		"x 1\n",     // bad source
+		"0 y\n",     // bad destination
+		"0 1 zzz\n", // bad weight
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Fatalf("expected error for %q", c)
+		}
+	}
+}
+
+// Property: binary round trips are lossless for arbitrary graphs.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8, eRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%50 + 1
+		m := randomCSR(rng, n, int(eRaw)%300)
+		var buf bytes.Buffer
+		if err := m.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return equalCSR(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package ogb
+
+import (
+	"math"
+	"testing"
+
+	"piumagcn/internal/graph"
+	"piumagcn/internal/rmat"
+)
+
+func featureGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	g, err := rmat.GenerateCSR(rmat.PowerLaw(9, 8, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSynthesizeFeaturesShapes(t *testing.T) {
+	g := featureGraph(t)
+	x, labels, err := SynthesizeFeatures(g, FeatureOptions{InDim: 16, Classes: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows != g.NumVertices || x.Cols != 16 {
+		t.Fatalf("feature shape %dx%d", x.Rows, x.Cols)
+	}
+	if len(labels) != g.NumVertices {
+		t.Fatalf("%d labels", len(labels))
+	}
+	for _, l := range labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	for _, v := range x.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite feature")
+		}
+	}
+}
+
+func TestSynthesizeFeaturesValidation(t *testing.T) {
+	g := featureGraph(t)
+	bad := []FeatureOptions{
+		{InDim: 0, Classes: 2},
+		{InDim: 4, Classes: 0},
+		{InDim: 2, Classes: 5},
+		{InDim: 8, Classes: 2, Homophily: 1.5},
+	}
+	for i, o := range bad {
+		if _, _, err := SynthesizeFeatures(g, o); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, o)
+		}
+	}
+	broken := &graph.CSR{NumVertices: 1, RowPtr: []int64{0}, Col: nil, Val: nil}
+	if _, _, err := SynthesizeFeatures(broken, FeatureOptions{InDim: 4, Classes: 2}); err == nil {
+		t.Fatal("expected error for invalid graph")
+	}
+}
+
+func TestSynthesizeFeaturesDeterministic(t *testing.T) {
+	g := featureGraph(t)
+	o := FeatureOptions{InDim: 8, Classes: 3, Seed: 9}
+	x1, l1, err := SynthesizeFeatures(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, l2, err := SynthesizeFeatures(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("labels not deterministic")
+		}
+	}
+	for i := range x1.Data {
+		if x1.Data[i] != x2.Data[i] {
+			t.Fatal("features not deterministic")
+		}
+	}
+}
+
+func TestHomophilyPlanted(t *testing.T) {
+	g := featureGraph(t)
+	_, smooth, err := SynthesizeFeatures(g, FeatureOptions{InDim: 8, Classes: 4, Homophily: 0.9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSmooth, err := LabelHomophily(g, smooth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random labels over 4 classes have homophily ~0.25; smoothing must
+	// lift it clearly above chance.
+	if hSmooth < 0.4 {
+		t.Fatalf("planted homophily %.2f, want > 0.4", hSmooth)
+	}
+}
+
+func TestLabelHomophilyEdgeCases(t *testing.T) {
+	g := featureGraph(t)
+	if _, err := LabelHomophily(g, make([]int, 2)); err == nil {
+		t.Fatal("expected error for label count mismatch")
+	}
+	empty, _ := graph.FromCOO(&graph.COO{NumVertices: 3})
+	h, err := LabelHomophily(empty, make([]int, 3))
+	if err != nil || h != 0 {
+		t.Fatalf("edgeless homophily = %v, %v", h, err)
+	}
+}

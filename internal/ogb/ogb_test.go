@@ -1,0 +1,178 @@
+package ogb
+
+import (
+	"testing"
+
+	"piumagcn/internal/graph"
+)
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	// Table I of the paper, verbatim.
+	want := map[string][2]int64{
+		"ddi":       {4_267, 1_334_889},
+		"proteins":  {132_534, 39_561_252},
+		"arxiv":     {169_343, 1_166_243},
+		"collab":    {235_868, 1_285_465},
+		"ppa":       {576_289, 30_326_273},
+		"mag":       {1_939_743, 21_111_007},
+		"products":  {2_449_029, 61_859_140},
+		"citation2": {2_927_963, 30_561_187},
+		"papers":    {111_059_956, 1_615_685_872},
+	}
+	cat := Catalog()
+	if len(cat) != len(want) {
+		t.Fatalf("catalogue has %d datasets, want %d", len(cat), len(want))
+	}
+	for _, d := range cat {
+		w, ok := want[d.Name]
+		if !ok {
+			t.Fatalf("unexpected dataset %q", d.Name)
+		}
+		if d.V != w[0] || d.E != w[1] {
+			t.Fatalf("%s: V,E = %d,%d want %d,%d", d.Name, d.V, d.E, w[0], w[1])
+		}
+	}
+}
+
+func TestCatalogOrderMatchesPaper(t *testing.T) {
+	order := []string{"ddi", "proteins", "arxiv", "collab", "ppa", "mag", "products", "citation2", "papers"}
+	for i, d := range Catalog() {
+		if d.Name != order[i] {
+			t.Fatalf("position %d is %q, want %q", i, d.Name, order[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("products")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.V != 2_449_029 {
+		t.Fatalf("products V = %d", d.V)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	p16, err := ByName("power-16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p16.V != 1<<16 || p16.E != 16<<16 {
+		t.Fatalf("power-16 = %+v", p16)
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	d, _ := ByName("ddi")
+	if ad := d.AvgDegree(); ad < 300 || ad > 320 {
+		t.Fatalf("ddi avg degree = %v, expected ~313", ad)
+	}
+	// ddi is the densest graph in the suite by far.
+	for _, other := range Catalog() {
+		if other.Name != "ddi" && other.Density() >= d.Density() {
+			t.Fatalf("%s density %v >= ddi density %v", other.Name, other.Density(), d.Density())
+		}
+	}
+}
+
+func TestScaledPreservesAvgDegree(t *testing.T) {
+	d, _ := ByName("products")
+	s := d.Scaled(0.01)
+	if got, want := s.AvgDegree(), d.AvgDegree(); got < want*0.95 || got > want*1.05 {
+		t.Fatalf("scaled avg degree %v, want ~%v", got, want)
+	}
+	// Degenerate factors clamp to identity.
+	id := d.Scaled(0)
+	if id.V != d.V || id.E != d.E {
+		t.Fatalf("Scaled(0) changed size: %+v", id)
+	}
+	id2 := d.Scaled(2)
+	if id2.V != d.V {
+		t.Fatal("Scaled(2) should clamp to full size")
+	}
+}
+
+func TestGenerateRespectsCapAndShape(t *testing.T) {
+	d, _ := ByName("products")
+	csr, f, err := Generate(d, GenerateOptions{MaxEdges: 100_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := csr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f >= 1 {
+		t.Fatalf("scale factor %v, want < 1 for capped generation", f)
+	}
+	// Raw sampled edges are capped; coalescing may merge a few.
+	if csr.NumEdges() > 100_000 {
+		t.Fatalf("edges %d exceed cap", csr.NumEdges())
+	}
+	st := graph.ComputeStats(csr)
+	wantDeg := d.AvgDegree()
+	if st.AvgDegree < wantDeg*0.5 || st.AvgDegree > wantDeg*1.2 {
+		t.Fatalf("generated avg degree %v, want within 50%% of %v", st.AvgDegree, wantDeg)
+	}
+}
+
+func TestGenerateSkewOrdering(t *testing.T) {
+	uni, _ := ByName("ddi")
+	pow, _ := ByName("citation2")
+	gu, _, err := Generate(uni, GenerateOptions{MaxEdges: 200_000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, _, err := Generate(pow, GenerateOptions{MaxEdges: 200_000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvU := graph.ComputeStats(gu).DegreeCV
+	cvP := graph.ComputeStats(gp).DegreeCV
+	if cvP <= cvU {
+		t.Fatalf("power-law CV %v should exceed uniform CV %v", cvP, cvU)
+	}
+}
+
+func TestGenerateSmallDatasetFullSize(t *testing.T) {
+	d, _ := ByName("ddi")
+	csr, f, err := Generate(d, GenerateOptions{MaxEdges: 2_000_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1 {
+		t.Fatalf("scale factor %v, want 1 (ddi fits)", f)
+	}
+	if csr.NumVertices != int(d.V) {
+		t.Fatalf("|V| = %d, want %d", csr.NumVertices, d.V)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d, _ := ByName("arxiv")
+	a, _, err := Generate(d, GenerateOptions{MaxEdges: 50_000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(d, GenerateOptions{MaxEdges: 50_000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			t.Fatal("generation not deterministic (columns differ)")
+		}
+	}
+}
+
+func TestSkewString(t *testing.T) {
+	if SkewUniform.String() != "uniform" || SkewModerate.String() != "moderate" || SkewPower.String() != "power" {
+		t.Fatal("Skew.String mismatch")
+	}
+	if Skew(42).String() != "Skew(42)" {
+		t.Fatal("unknown skew string")
+	}
+}

@@ -1,0 +1,189 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"piumagcn/internal/graph"
+	"piumagcn/internal/rmat"
+)
+
+func communityGraph(t testing.TB, communities, perCommunity int, seed int64) *graph.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := communities * perCommunity
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		c := v / perCommunity
+		for d := 0; d < 8; d++ {
+			var u int
+			if rng.Float64() < 0.92 {
+				u = c*perCommunity + rng.Intn(perCommunity)
+			} else {
+				u = rng.Intn(n)
+			}
+			edges = append(edges, graph.Edge{Src: int32(v), Dst: int32(u), Weight: 1},
+				graph.Edge{Src: int32(u), Dst: int32(v), Weight: 1})
+		}
+	}
+	g, err := graph.FromCOO(&graph.COO{NumVertices: n, Edges: edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMethodString(t *testing.T) {
+	if Random.String() != "random" || Range.String() != "range" || BFSGrow.String() != "bfs-grow" {
+		t.Fatal("method names")
+	}
+	if Method(9).String() != "Method(9)" {
+		t.Fatal("unknown method name")
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := communityGraph(t, 2, 20, 1)
+	if _, err := Partition(g, 0, Random); err == nil {
+		t.Fatal("expected error for zero parts")
+	}
+	if _, err := Partition(g, 2, Method(42)); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+	bad := &graph.CSR{NumVertices: 1, RowPtr: []int64{0}, Col: nil, Val: nil}
+	if _, err := Partition(bad, 2, Random); err == nil {
+		t.Fatal("expected error for invalid graph")
+	}
+}
+
+func TestAllMethodsProduceValidAssignments(t *testing.T) {
+	g := communityGraph(t, 4, 50, 2)
+	for _, m := range []Method{Random, Range, BFSGrow} {
+		r, err := Partition(g, 4, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		// Every part must be non-trivially used.
+		counts := make([]int, r.Parts)
+		for _, p := range r.Assign {
+			counts[p]++
+		}
+		for p, c := range counts {
+			if c == 0 {
+				t.Fatalf("%v: part %d empty", m, p)
+			}
+		}
+	}
+}
+
+func TestMorePartsThanVertices(t *testing.T) {
+	g, _ := graph.FromCOO(&graph.COO{NumVertices: 3, Edges: []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}})
+	r, err := Partition(g, 10, Random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Parts != 3 {
+		t.Fatalf("parts clamped to %d, want 3", r.Parts)
+	}
+}
+
+// Cut-quality ordering on a community graph whose numbering matches the
+// communities: BFS-grow and range must beat random by a wide margin.
+func TestCutQualityOrdering(t *testing.T) {
+	g := communityGraph(t, 4, 100, 3)
+	cut := func(m Method) float64 {
+		r, err := Partition(g, 4, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Evaluate(g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.CutFraction
+	}
+	random, rng, bfs := cut(Random), cut(Range), cut(BFSGrow)
+	if random < 0.6 {
+		t.Fatalf("random cut %.2f suspiciously low (expect ~1-1/p)", random)
+	}
+	if rng > random/2 {
+		t.Fatalf("range cut %.2f should be far below random %.2f", rng, random)
+	}
+	if bfs > random/2 {
+		t.Fatalf("bfs cut %.2f should be far below random %.2f", bfs, random)
+	}
+}
+
+func TestEvaluateBalance(t *testing.T) {
+	g := communityGraph(t, 4, 50, 4)
+	r, err := Partition(g, 4, Range)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Evaluate(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EdgeImbalance < 1 || s.EdgeImbalance > 1.6 {
+		t.Fatalf("range partition edge imbalance %.2f out of [1, 1.6]", s.EdgeImbalance)
+	}
+	if s.MaxPartEdges <= 0 {
+		t.Fatal("max part edges must be positive")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	g := communityGraph(t, 2, 10, 5)
+	r := &Result{Parts: 2, Assign: make([]int32, 3)}
+	if _, err := Evaluate(g, r); err == nil {
+		t.Fatal("expected error for assignment size mismatch")
+	}
+	r = &Result{Parts: 2, Assign: make([]int32, g.NumVertices)}
+	r.Assign[0] = 5
+	if _, err := Evaluate(g, r); err == nil {
+		t.Fatal("expected error for out-of-range part")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, _ := graph.FromCOO(&graph.COO{NumVertices: 0})
+	for _, m := range []Method{Random, Range, BFSGrow} {
+		r, err := Partition(g, 3, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		s, err := Evaluate(g, r)
+		if err != nil || s.CutEdges != 0 {
+			t.Fatalf("%v: empty graph stats %+v, %v", m, s, err)
+		}
+	}
+}
+
+// Property: the random cut fraction on any RMAT graph approaches
+// 1 - 1/p for p parts (self-loops and intra-part luck keep it below 1).
+func TestQuickRandomCutNearExpectation(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := int(pRaw)%7 + 2
+		g, err := rmat.GenerateCSR(rmat.Uniform(9, 8, seed))
+		if err != nil {
+			return false
+		}
+		r, err := Partition(g, p, Random)
+		if err != nil {
+			return false
+		}
+		s, err := Evaluate(g, r)
+		if err != nil {
+			return false
+		}
+		expect := 1 - 1/float64(p)
+		return s.CutFraction > expect-0.1 && s.CutFraction < expect+0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

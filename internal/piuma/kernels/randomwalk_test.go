@@ -1,0 +1,114 @@
+package kernels
+
+import (
+	"testing"
+
+	"piumagcn/internal/graph"
+	"piumagcn/internal/piuma"
+	"piumagcn/internal/sim"
+)
+
+func TestRandomWalkRejectsBadInputs(t *testing.T) {
+	g, _ := testGraphs(t)
+	cfg := piuma.DefaultConfig()
+	if _, err := RunRandomWalk(cfg, g, 0); err == nil {
+		t.Fatal("expected error for zero steps")
+	}
+	empty, _ := graph.FromCOO(&graph.COO{NumVertices: 4})
+	if _, err := RunRandomWalk(cfg, empty, 10); err == nil {
+		t.Fatal("expected error for edgeless graph")
+	}
+	bad := cfg
+	bad.Cores = 0
+	if _, err := RunRandomWalk(bad, g, 10); err == nil {
+		t.Fatal("expected error for invalid config")
+	}
+}
+
+func TestRandomWalkDeterministic(t *testing.T) {
+	g, _ := testGraphs(t)
+	cfg := piuma.DefaultConfig()
+	cfg.Cores = 2
+	a, err := RunRandomWalk(cfg, g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRandomWalk(cfg, g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.StepsPerSecond != b.StepsPerSecond {
+		t.Fatal("random walk simulation is nondeterministic")
+	}
+}
+
+// Section VI: random walks are latency bound — a single walker's rate
+// is pinned by the dependent-read chain, so aggregate throughput comes
+// from thread count. More threads per MTP must increase throughput
+// nearly proportionally until bandwidth saturates.
+func TestRandomWalkThroughputFromThreads(t *testing.T) {
+	g, _ := testGraphs(t)
+	base := piuma.DefaultConfig()
+	base.Cores = 4
+	base.ThreadsPerMTP = 1
+	one, err := RunRandomWalk(base, g, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.ThreadsPerMTP = 16
+	many, err := RunRandomWalk(base, g, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := many.StepsPerSecond / one.StepsPerSecond
+	if gain < 8 {
+		t.Fatalf("16x threads gave only %.1fx walk throughput", gain)
+	}
+}
+
+// Walks are pure dependent-read chains, so raising DRAM latency always
+// costs throughput — but full multi-threading softens the blow compared
+// with the thread-starved configuration (PIUMA's latency tolerance is a
+// function of concurrent walkers, Section VI).
+func TestRandomWalkLatencyToleranceFromThreads(t *testing.T) {
+	g, _ := testGraphs(t)
+	ratioAt := func(threads int) float64 {
+		cfg := piuma.DefaultConfig()
+		cfg.Cores = 4
+		cfg.ThreadsPerMTP = threads
+		fast, err := RunRandomWalk(cfg, g, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := cfg
+		slow.DRAMLatency = 720 * sim.Nanosecond
+		lat, err := RunRandomWalk(slow, g, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat.AvgStepLatency <= fast.AvgStepLatency {
+			t.Fatal("per-step latency should rise with DRAM latency")
+		}
+		return lat.StepsPerSecond / fast.StepsPerSecond
+	}
+	starved := ratioAt(1)
+	full := ratioAt(16)
+	if full <= starved {
+		t.Fatalf("full threading should tolerate latency better: %.2f vs %.2f", full, starved)
+	}
+	if full < 0.3 {
+		t.Fatalf("full-thread 720ns/45ns throughput ratio %.2f implausibly low", full)
+	}
+}
+
+func BenchmarkRandomWalk(b *testing.B) {
+	g, _ := testGraphs(b)
+	cfg := piuma.DefaultConfig()
+	cfg.Cores = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunRandomWalk(cfg, g, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

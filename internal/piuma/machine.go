@@ -1,0 +1,174 @@
+package piuma
+
+import (
+	"fmt"
+
+	"piumagcn/internal/sim"
+)
+
+// Machine instantiates the simulated PIUMA system: one DRAM-slice server
+// and one DMA engine per core, one issue server per MTP, and the network
+// latency function of the distributed global address space.
+type Machine struct {
+	Cfg Config
+	Eng *sim.Engine
+	// Slices[i] models core i's DRAM slice data bus. All traffic to
+	// addresses homed on core i reserves time here, which is what makes
+	// the bandwidth sweeps of Figure 6 (top) linear.
+	Slices []*sim.Server
+	// MTPs[core*MTPsPerCore+m] models the single-issue pipeline: every
+	// instruction (loads, MACs, bookkeeping) reserves issue slots.
+	MTPs []*sim.Server
+	// DMAs[i] is core i's DMA offload engine.
+	DMAs []*DMAEngine
+}
+
+// DMAEngine models the per-core offload engine of Section IV-B: a FIFO
+// service timeline (descriptors are "serialized on the order of
+// arrival") plus a bounded descriptor queue that back-pressures issuing
+// threads when full.
+type DMAEngine struct {
+	Core   int
+	Server sim.Server
+	Queue  *sim.Gate
+}
+
+// NewMachine builds a machine on a fresh simulation engine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{Cfg: cfg, Eng: sim.NewEngine()}
+	m.Slices = make([]*sim.Server, cfg.Cores)
+	for i := range m.Slices {
+		m.Slices[i] = &sim.Server{Name: fmt.Sprintf("slice%d", i)}
+	}
+	m.MTPs = make([]*sim.Server, cfg.Cores*cfg.MTPsPerCore)
+	for i := range m.MTPs {
+		m.MTPs[i] = &sim.Server{Name: fmt.Sprintf("mtp%d", i)}
+	}
+	m.DMAs = make([]*DMAEngine, cfg.Cores)
+	for i := range m.DMAs {
+		m.DMAs[i] = &DMAEngine{
+			Core:   i,
+			Server: sim.Server{Name: fmt.Sprintf("dma%d", i)},
+			Queue:  sim.NewGate(fmt.Sprintf("dmaq%d", i), cfg.DMAQueueDepth),
+		}
+	}
+	return m, nil
+}
+
+// AccessLatency returns the load-to-use latency for core `from`
+// accessing an address homed on core `home`: DRAM latency plus, for
+// remote slices, the network round trip. Distance is measured on a ring
+// (a serviceable stand-in for the Hyper-X diameter growth, which is
+// what makes average NNZ-read latency grow ~6x from 1 to 32 cores,
+// Section IV-B).
+func (m *Machine) AccessLatency(from, home int) sim.Time {
+	lat := m.Cfg.DRAMLatency
+	if from != home {
+		d := from - home
+		if d < 0 {
+			d = -d
+		}
+		if ring := m.Cfg.Cores - d; ring < d {
+			d = ring
+		}
+		lat += m.Cfg.RemoteBaseLatency + sim.Time(d)*m.Cfg.HopLatency
+	}
+	return lat
+}
+
+// AvgAccessLatency returns the uniform-random average access latency
+// seen from core `from` — the quantity the paper reports as rising ~6x
+// between 1- and 32-core systems.
+func (m *Machine) AvgAccessLatency(from int) sim.Time {
+	var sum sim.Time
+	for home := 0; home < m.Cfg.Cores; home++ {
+		sum += m.AccessLatency(from, home)
+	}
+	return sum / sim.Time(m.Cfg.Cores)
+}
+
+// HomeOfBlock maps an address-space block to its home core. The DGAS
+// interleaves memory across slices at cache-line granularity, so
+// consecutive blocks of a stream round-robin across cores; kernels pass
+// a stable block index (e.g. a line index for streaming CSR arrays).
+func (m *Machine) HomeOfBlock(block int64) int {
+	h := block % int64(m.Cfg.Cores)
+	if h < 0 {
+		h += int64(m.Cfg.Cores)
+	}
+	return int(h)
+}
+
+// HomeOfRow maps one access to a K-wide feature row to a home core.
+// Because the DGAS interleaves at line granularity, a multi-line row is
+// physically striped across all slices; modelling each row-sized request
+// against a single pseudo-randomly chosen slice preserves the aggregate
+// balance (hub vertices do not hot-spot one slice) while keeping the
+// simulation to one reservation per request. `salt` decorrelates
+// repeated accesses to the same row.
+func (m *Machine) HomeOfRow(row, salt int64) int {
+	x := uint64(row)*0x9E3779B97F4A7C15 + uint64(salt)*0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	x *= 0x94D049BB133111EB
+	x ^= x >> 29
+	return int(x % uint64(m.Cfg.Cores))
+}
+
+// MTPOf returns the issue server for thread (core, mtp).
+func (m *Machine) MTPOf(core, mtp int) *sim.Server {
+	return m.MTPs[core*m.Cfg.MTPsPerCore+mtp]
+}
+
+// ReadBlocking models a stall-on-use load issued by a thread on
+// `core`: it reserves the slice bus of the home core for the transfer
+// and returns the completion time (request issue → data usable). The
+// caller is responsible for sleeping until the returned time; MTP issue
+// occupancy is charged separately by the kernels so that multi-
+// instruction bursts can be batched into a single reservation.
+func (m *Machine) ReadBlocking(now sim.Time, core int, homeBlock int64, bytes int64) sim.Time {
+	return m.ReadBlockingAt(now, core, m.HomeOfBlock(homeBlock), bytes)
+}
+
+// ReadBlockingAt is ReadBlocking with an explicitly chosen home core.
+func (m *Machine) ReadBlockingAt(now sim.Time, core, home int, bytes int64) sim.Time {
+	_, end := m.Slices[home].Reserve(now, m.Cfg.TransferTime(bytes))
+	return end + m.AccessLatency(core, home)
+}
+
+// WriteAsync models a fire-and-forget remote-atomic store: it consumes
+// slice bandwidth but does not stall the issuing thread (the offload
+// engines complete it in the background).
+func (m *Machine) WriteAsync(now sim.Time, homeBlock int64, bytes int64) {
+	m.WriteAsyncAt(now, m.HomeOfBlock(homeBlock), bytes)
+}
+
+// WriteAsyncAt is WriteAsync with an explicitly chosen home core.
+func (m *Machine) WriteAsyncAt(now sim.Time, home int, bytes int64) {
+	m.Slices[home].Reserve(now, m.Cfg.TransferTime(bytes))
+}
+
+// DeliveredBytes sums the bus-occupancy bytes across slices, derived
+// from busy time × bandwidth. Used by conservation tests.
+func (m *Machine) DeliveredBytes() float64 {
+	var busy sim.Time
+	for _, s := range m.Slices {
+		busy += s.BusyTime()
+	}
+	return busy.Seconds() * m.Cfg.SliceBandwidth
+}
+
+// MaxSliceUtilization returns the highest per-slice utilization over the
+// elapsed interval — the kernels aim to saturate this (Key Takeaway 1 of
+// Section IV).
+func (m *Machine) MaxSliceUtilization(elapsed sim.Time) float64 {
+	max := 0.0
+	for _, s := range m.Slices {
+		if u := s.Utilization(elapsed); u > max {
+			max = u
+		}
+	}
+	return max
+}

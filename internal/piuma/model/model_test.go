@@ -1,0 +1,185 @@
+package model
+
+import (
+	"testing"
+
+	"piumagcn/internal/piuma"
+	"piumagcn/internal/piuma/kernels"
+	"piumagcn/internal/rmat"
+	"piumagcn/internal/stats"
+)
+
+func TestDefaultNodeValid(t *testing.T) {
+	n := DefaultNode()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The node must offer TB/s-class aggregate bandwidth (Section II-D).
+	if bw := n.Cfg.AggregateBandwidth(); bw < 1e12 {
+		t.Fatalf("node bandwidth %v < 1 TB/s", bw)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	n := DefaultNode()
+	n.DenseGFLOPS = 0
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected error for zero dense throughput")
+	}
+	n = DefaultNode()
+	n.BarrierOverhead = -1
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected error for negative barrier overhead")
+	}
+	n = DefaultNode()
+	n.DGASBytes = 0
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected error for zero capacity")
+	}
+	n = DefaultNode()
+	n.Cfg.Cores = 0
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected error for invalid machine config")
+	}
+}
+
+func TestSpMMEfficiencyBands(t *testing.T) {
+	n := DefaultNode()
+	e8, e64, e256 := n.SpMMEfficiency(8), n.SpMMEfficiency(64), n.SpMMEfficiency(256)
+	if !(e8 < e64 && e64 <= e256) {
+		t.Fatalf("efficiency should grow with K: %v %v %v", e8, e64, e256)
+	}
+	for _, e := range []float64{e8, e64, e256} {
+		if e < 0.7 || e > 1 {
+			t.Fatalf("efficiency %v outside the DES-observed band", e)
+		}
+	}
+}
+
+func TestSpMMTimeScalesWithWork(t *testing.T) {
+	n := DefaultNode()
+	t1, err := n.SpMMTime(1_000_000, 20_000_000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := n.SpMMTime(1_000_000, 40_000_000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 <= t1 {
+		t.Fatal("SpMM time must grow with |E|")
+	}
+	if _, err := n.SpMMTime(10, 10, 0); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+}
+
+func TestDenseTimeComputeBound(t *testing.T) {
+	n := DefaultNode()
+	// K=256 dense is compute bound: time ~ flops / DenseGFLOPS.
+	tm, err := n.DenseTime(1_000_000, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flop := 2.0 * 1e6 * 256 * 256
+	ideal := flop / (n.DenseGFLOPS * 1e9)
+	if !stats.Within(tm-n.BarrierOverhead, ideal, 0.01) {
+		t.Fatalf("dense time %v, want ~%v", tm, ideal)
+	}
+	if _, err := n.DenseTime(-1, 2, 2); err == nil {
+		t.Fatal("expected error for negative dims")
+	}
+	zero, err := n.DenseTime(0, 2, 2)
+	if err != nil || zero != n.BarrierOverhead {
+		t.Fatalf("degenerate dense = %v, %v", zero, err)
+	}
+}
+
+func TestGlueTime(t *testing.T) {
+	n := DefaultNode()
+	small, err := n.GlueTime(1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := n.GlueTime(100_000_000, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Fatal("glue must grow with activations")
+	}
+	if _, err := n.GlueTime(-1, 8); err == nil {
+		t.Fatal("expected error for negative dims")
+	}
+}
+
+// papers100M fits the DGAS trivially (Key Takeaway 3 of Section V).
+func TestPapersFitsDGAS(t *testing.T) {
+	n := DefaultNode()
+	if !n.Fits(111_059_956, 1_615_685_872, 256) {
+		t.Fatal("papers100M must fit the node's DGAS")
+	}
+	tiny := n
+	tiny.DGASBytes = 1 << 20
+	if tiny.Fits(111_059_956, 1_615_685_872, 256) {
+		t.Fatal("a 1 MB DGAS cannot fit papers")
+	}
+}
+
+// Calibration: the closed-form model must agree with the event-level
+// simulator on the die-scale configurations where both can run. This is
+// the contract that lets Figures 9/10 use the fast model.
+func TestModelMatchesSimulator(t *testing.T) {
+	g, err := rmat.GenerateCSR(rmat.PowerLaw(12, 16, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{64, 256} {
+		cfg := piuma.DefaultConfig()
+		cfg.Cores = 8
+		res, err := kernels.Run(kernels.KindDMA, cfg, g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := DefaultNode()
+		n.Cfg = cfg
+		predicted, err := n.SpMMTime(int64(g.NumVertices), g.NumEdges(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := res.Elapsed.Seconds()
+		if !stats.Within(predicted, measured, 0.25) {
+			t.Fatalf("K=%d: model %.3gs vs simulator %.3gs (>25%% apart)", k, predicted, measured)
+		}
+	}
+}
+
+// Section VII: on PIUMA (no large cache) fusion always saves the
+// intermediate's DRAM round trip.
+func TestFusedLayerTime(t *testing.T) {
+	n := DefaultNode()
+	v, e := int64(2_449_029), int64(61_859_140)
+	dense, err := n.DenseTime(v, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := n.SpMMTime(v, e, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := n.FusedLayerTime(v, e, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfused := dense + sp
+	if fused >= unfused {
+		t.Fatalf("fusion should save traffic: %v vs %v", fused, unfused)
+	}
+	if fused < unfused*0.5 {
+		t.Fatalf("fusion gain capped at 2x: %v vs %v", fused, unfused)
+	}
+	if _, err := n.FusedLayerTime(v, e, 0, 256); err != nil {
+		// kin=0 is degenerate but valid for DenseTime; ensure no panic.
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

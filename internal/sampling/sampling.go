@@ -1,0 +1,336 @@
+// Package sampling implements the neighbourhood-sampling substrate of
+// Section VI: sampling-based GNN methods (graphSAGE's uniform fan-out,
+// pinSAGE's random-walk importance sampling) build per-batch layered
+// subgraphs instead of aggregating over full neighbourhoods. The paper
+// points at these as the next PIUMA workloads — random walks are
+// latency-bound, and the GPU's papers100M collapse (Figure 4) is caused
+// by exactly this CPU-side sampling.
+//
+// A Batch is a stack of layered bipartite adjacencies: level l maps the
+// frontier needed at depth l+1 to the frontier at depth l, with edge
+// weights copied from the (already GCN-normalized) global operator, so
+// full-fan-out sampling reproduces exact inference on the seeds — a
+// property the tests exploit.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"piumagcn/internal/graph"
+	"piumagcn/internal/tensor"
+)
+
+// Sampler selects up to fanout neighbours of a vertex.
+type Sampler interface {
+	// Sample returns neighbour column-indices (into the global graph)
+	// and their edge weights for vertex v, at most fanout of them.
+	// fanout <= 0 means the full neighbourhood.
+	Sample(v int32, fanout int, rng *rand.Rand) ([]int32, []float64)
+	// Name identifies the strategy.
+	Name() string
+}
+
+// Uniform is graphSAGE-style uniform neighbour sampling without
+// replacement.
+type Uniform struct {
+	G *graph.CSR
+}
+
+// Name implements Sampler.
+func (u Uniform) Name() string { return "uniform" }
+
+// Sample implements Sampler.
+func (u Uniform) Sample(v int32, fanout int, rng *rand.Rand) ([]int32, []float64) {
+	cols, vals := u.G.Row(int(v))
+	if fanout <= 0 || len(cols) <= fanout {
+		return cols, vals
+	}
+	// Partial Fisher-Yates over an index permutation.
+	idx := make([]int, len(cols))
+	for i := range idx {
+		idx[i] = i
+	}
+	outC := make([]int32, fanout)
+	outV := make([]float64, fanout)
+	for i := 0; i < fanout; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		outC[i] = cols[idx[i]]
+		outV[i] = vals[idx[i]]
+	}
+	return outC, outV
+}
+
+// RandomWalk is pinSAGE-style importance sampling: short random walks
+// from v estimate visit counts, and the most-visited vertices become
+// the sampled neighbourhood (weighted by normalized visit frequency).
+type RandomWalk struct {
+	G *graph.CSR
+	// Walks and WalkLength size the estimator (pinSAGE defaults are
+	// on the order of tens of short walks).
+	Walks      int
+	WalkLength int
+}
+
+// Name implements Sampler.
+func (r RandomWalk) Name() string { return "random-walk" }
+
+// Sample implements Sampler.
+func (r RandomWalk) Sample(v int32, fanout int, rng *rand.Rand) ([]int32, []float64) {
+	walks := r.Walks
+	if walks <= 0 {
+		walks = 20
+	}
+	length := r.WalkLength
+	if length <= 0 {
+		length = 3
+	}
+	visits := make(map[int32]int)
+	for w := 0; w < walks; w++ {
+		cur := v
+		for s := 0; s < length; s++ {
+			cols, _ := r.G.Row(int(cur))
+			if len(cols) == 0 {
+				break
+			}
+			cur = cols[rng.Intn(len(cols))]
+			if cur != v {
+				visits[cur]++
+			}
+		}
+	}
+	if len(visits) == 0 {
+		return nil, nil
+	}
+	type vc struct {
+		v int32
+		c int
+	}
+	ranked := make([]vc, 0, len(visits))
+	for vv, c := range visits {
+		ranked = append(ranked, vc{vv, c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].c != ranked[j].c {
+			return ranked[i].c > ranked[j].c
+		}
+		return ranked[i].v < ranked[j].v // deterministic ties
+	})
+	if fanout > 0 && len(ranked) > fanout {
+		ranked = ranked[:fanout]
+	}
+	total := 0
+	for _, e := range ranked {
+		total += e.c
+	}
+	outC := make([]int32, len(ranked))
+	outV := make([]float64, len(ranked))
+	for i, e := range ranked {
+		outC[i] = e.v
+		outV[i] = float64(e.c) / float64(total)
+	}
+	return outC, outV
+}
+
+// Layer is one bipartite level of a batch: Block row i aggregates the
+// previous frontier's rows into output i; Frontier lists the global
+// vertex ids the NEXT level must provide features for.
+type Layer struct {
+	// Block is a |Dst| x |Src| sparse matrix in CSR form whose column
+	// indices address Frontier positions (local ids).
+	Block *graph.CSR
+	// Frontier are the global vertex ids forming the source side.
+	Frontier []int32
+}
+
+// Batch is a layered sample rooted at Seeds: applying the blocks from
+// the deepest layer upward reproduces (or approximates) L-layer GCN
+// aggregation for the seeds.
+type Batch struct {
+	Seeds  []int32
+	Layers []Layer
+}
+
+// BuildBatch samples an L-level batch (L = len(fanouts)) for the seeds.
+// fanouts[l] bounds the neighbourhood of level l (0 = full). The RNG
+// seed makes batches reproducible.
+func BuildBatch(s Sampler, seeds []int32, fanouts []int, seed int64) (*Batch, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("sampling: no seeds")
+	}
+	if len(fanouts) == 0 {
+		return nil, errors.New("sampling: no layers")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := &Batch{Seeds: append([]int32(nil), seeds...)}
+	dst := b.Seeds
+	for _, fanout := range fanouts {
+		layer, nextFrontier, err := sampleLayer(s, dst, fanout, rng)
+		if err != nil {
+			return nil, err
+		}
+		b.Layers = append(b.Layers, layer)
+		dst = nextFrontier
+	}
+	return b, nil
+}
+
+func sampleLayer(s Sampler, dst []int32, fanout int, rng *rand.Rand) (Layer, []int32, error) {
+	local := make(map[int32]int32)
+	var frontier []int32
+	localID := func(v int32) int32 {
+		if id, ok := local[v]; ok {
+			return id
+		}
+		id := int32(len(frontier))
+		local[v] = id
+		frontier = append(frontier, v)
+		return id
+	}
+	// Self edges keep each dst vertex's own features in the frontier
+	// (the +I of the GCN operator is already folded into the global
+	// weights; here we only guarantee the id exists if sampled).
+	var edges []graph.Edge
+	for i, v := range dst {
+		cols, vals := s.Sample(v, fanout, rng)
+		for j, c := range cols {
+			edges = append(edges, graph.Edge{Src: int32(i), Dst: localID(c), Weight: vals[j]})
+		}
+	}
+	// Degenerate guard: a dst row with no sampled neighbours still
+	// needs the block to have the right shape.
+	if len(frontier) == 0 {
+		frontier = append(frontier, dst[0])
+	}
+	block, err := blockFromEdges(len(dst), len(frontier), edges)
+	if err != nil {
+		return Layer{}, nil, err
+	}
+	return Layer{Block: block, Frontier: frontier}, frontier, nil
+}
+
+// blockFromEdges builds a rectangular CSR (rows x cols) from COO edges.
+// graph.CSR is square by construction, so the block embeds the
+// rectangle in a max(rows, cols) square; Rows/Cols record the logical
+// shape via the Layer contract (len(dst) x len(frontier)).
+func blockFromEdges(rows, cols int, edges []graph.Edge) (*graph.CSR, error) {
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	return graph.FromCOO(&graph.COO{NumVertices: n, Edges: edges})
+}
+
+// InferBatch computes the seeds' embeddings from a batch: features are
+// gathered for the deepest frontier, then each block aggregates upward
+// with the dense update and ReLU between levels (matching core.Infer's
+// layer structure: transform, aggregate, activate).
+func InferBatch(b *Batch, features *tensor.Matrix, weights []*tensor.Matrix) (*tensor.Matrix, error) {
+	if len(weights) != len(b.Layers) {
+		return nil, fmt.Errorf("sampling: %d weight layers for %d batch levels", len(weights), len(b.Layers))
+	}
+	// Deepest frontier's features.
+	deepest := b.Layers[len(b.Layers)-1].Frontier
+	h := gatherRows(features, deepest)
+	for l := len(b.Layers) - 1; l >= 0; l-- {
+		layer := b.Layers[l]
+		w := weights[len(weights)-1-l]
+		hw, err := tensor.MatMul(h, w)
+		if err != nil {
+			return nil, fmt.Errorf("sampling: level %d dense: %w", l, err)
+		}
+		agg, err := aggregateBlock(layer, hw)
+		if err != nil {
+			return nil, fmt.Errorf("sampling: level %d aggregate: %w", l, err)
+		}
+		if l > 0 {
+			tensor.ReLU(agg)
+			// The next (shallower) block's frontier is this level's
+			// dst set; gather the rows it needs.
+			h = gatherLocal(agg, b.Layers[l-1].Frontier, b.frontierIndex(l))
+		} else {
+			h = agg
+		}
+	}
+	return h, nil
+}
+
+// frontierIndex maps global vertex id -> row in level l's dst output.
+// Level l's dst set is level l-1's frontier (or the seeds for l = 0).
+func (b *Batch) frontierIndex(l int) map[int32]int {
+	var dst []int32
+	if l == 0 {
+		dst = b.Seeds
+	} else {
+		dst = b.Layers[l-1].Frontier
+	}
+	idx := make(map[int32]int, len(dst))
+	for i, v := range dst {
+		idx[v] = i
+	}
+	return idx
+}
+
+// aggregateBlock computes Block · H over the local ids.
+func aggregateBlock(layer Layer, h *tensor.Matrix) (*tensor.Matrix, error) {
+	rows := layer.Block.NumVertices // embedded square; logical rows <= this
+	out := tensor.New(rows, h.Cols)
+	for u := 0; u < rows; u++ {
+		cols, vals := layer.Block.Row(u)
+		orow := out.Row(u)
+		for i, c := range cols {
+			if int(c) >= h.Rows {
+				return nil, fmt.Errorf("sampling: block references frontier row %d of %d", c, h.Rows)
+			}
+			w := vals[i]
+			hrow := h.Row(int(c))
+			for j := range orow {
+				orow[j] += w * hrow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// gatherRows copies global feature rows for the frontier.
+func gatherRows(features *tensor.Matrix, frontier []int32) *tensor.Matrix {
+	out := tensor.New(len(frontier), features.Cols)
+	for i, v := range frontier {
+		copy(out.Row(i), features.Row(int(v)))
+	}
+	return out
+}
+
+// gatherLocal reorders the aggregated rows (indexed by the dst order of
+// the deeper level) into the order the shallower block's frontier
+// expects.
+func gatherLocal(h *tensor.Matrix, frontier []int32, index map[int32]int) *tensor.Matrix {
+	out := tensor.New(len(frontier), h.Cols)
+	for i, v := range frontier {
+		if row, ok := index[v]; ok && row < h.Rows {
+			copy(out.Row(i), h.Row(row))
+		}
+	}
+	return out
+}
+
+// Stats summarizes the data volume of a batch — the quantity the GPU
+// sampling model charges for (Figure 4's papers path).
+type Stats struct {
+	Levels        int
+	FrontierSizes []int
+	SampledEdges  int64
+}
+
+// ComputeStats summarizes b.
+func ComputeStats(b *Batch) Stats {
+	s := Stats{Levels: len(b.Layers)}
+	for _, l := range b.Layers {
+		s.FrontierSizes = append(s.FrontierSizes, len(l.Frontier))
+		s.SampledEdges += l.Block.NumEdges()
+	}
+	return s
+}

@@ -1,0 +1,235 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+
+	"piumagcn/internal/core"
+	"piumagcn/internal/graph"
+	"piumagcn/internal/rmat"
+	"piumagcn/internal/tensor"
+)
+
+func normalizedGraph(t testing.TB, scale, ef int, seed int64) *graph.CSR {
+	t.Helper()
+	raw, err := rmat.GenerateCSR(rmat.PowerLaw(scale, ef, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.NormalizeGCN(raw)
+}
+
+func TestUniformSampleBounds(t *testing.T) {
+	g := normalizedGraph(t, 8, 8, 1)
+	s := Uniform{G: g}
+	rng := rand.New(rand.NewSource(2))
+	for v := int32(0); v < 50; v++ {
+		cols, vals := s.Sample(v, 4, rng)
+		if len(cols) > 4 || len(cols) != len(vals) {
+			t.Fatalf("vertex %d: sampled %d cols, %d vals", v, len(cols), len(vals))
+		}
+		deg := int(g.Degree(int(v)))
+		want := 4
+		if deg < want {
+			want = deg
+		}
+		if len(cols) != want {
+			t.Fatalf("vertex %d: sampled %d of degree %d with fanout 4", v, len(cols), deg)
+		}
+		seen := map[int32]bool{}
+		for _, c := range cols {
+			if seen[c] {
+				t.Fatalf("vertex %d: duplicate neighbour %d (sampling without replacement)", v, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestUniformFullFanout(t *testing.T) {
+	g := normalizedGraph(t, 7, 6, 3)
+	s := Uniform{G: g}
+	rng := rand.New(rand.NewSource(1))
+	cols, vals := s.Sample(5, 0, rng)
+	wantC, wantV := g.Row(5)
+	if len(cols) != len(wantC) {
+		t.Fatalf("full fanout returned %d of %d neighbours", len(cols), len(wantC))
+	}
+	for i := range cols {
+		if cols[i] != wantC[i] || vals[i] != wantV[i] {
+			t.Fatal("full fanout should return the row verbatim")
+		}
+	}
+}
+
+func TestRandomWalkSampler(t *testing.T) {
+	g := normalizedGraph(t, 8, 8, 4)
+	s := RandomWalk{G: g, Walks: 30, WalkLength: 3}
+	rng := rand.New(rand.NewSource(5))
+	cols, vals := s.Sample(1, 6, rng)
+	if len(cols) == 0 || len(cols) > 6 {
+		t.Fatalf("random walk sampled %d", len(cols))
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatal("visit weights must be positive")
+		}
+		sum += v
+	}
+	if sum > 1.0001 {
+		t.Fatalf("weights sum to %v, want <= 1 (normalized frequencies)", sum)
+	}
+	// Weights are sorted descending (most-visited first).
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1] {
+			t.Fatal("random-walk weights not ranked")
+		}
+	}
+}
+
+func TestRandomWalkIsolatedVertex(t *testing.T) {
+	g, _ := graph.FromCOO(&graph.COO{NumVertices: 3, Edges: []graph.Edge{{Src: 1, Dst: 2, Weight: 1}}})
+	s := RandomWalk{G: g}
+	cols, vals := s.Sample(0, 4, rand.New(rand.NewSource(1)))
+	if cols != nil || vals != nil {
+		t.Fatal("isolated vertex should sample nothing")
+	}
+}
+
+func TestBuildBatchValidation(t *testing.T) {
+	g := normalizedGraph(t, 6, 4, 6)
+	s := Uniform{G: g}
+	if _, err := BuildBatch(s, nil, []int{4}, 1); err == nil {
+		t.Fatal("expected error for no seeds")
+	}
+	if _, err := BuildBatch(s, []int32{0}, nil, 1); err == nil {
+		t.Fatal("expected error for no layers")
+	}
+}
+
+func TestBuildBatchDeterministic(t *testing.T) {
+	g := normalizedGraph(t, 8, 8, 7)
+	s := Uniform{G: g}
+	seeds := []int32{1, 5, 9}
+	a, err := BuildBatch(s, seeds, []int{4, 4}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildBatch(s, seeds, []int{4, 4}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := ComputeStats(a), ComputeStats(b)
+	if sa.SampledEdges != sb.SampledEdges || len(sa.FrontierSizes) != len(sb.FrontierSizes) {
+		t.Fatal("batches differ across identical seeds")
+	}
+}
+
+func TestBatchStats(t *testing.T) {
+	g := normalizedGraph(t, 8, 8, 8)
+	s := Uniform{G: g}
+	b, err := BuildBatch(s, []int32{0, 1}, []int{3, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(b)
+	if st.Levels != 2 || len(st.FrontierSizes) != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SampledEdges == 0 {
+		t.Fatal("no edges sampled")
+	}
+	// Frontier growth: level 2's frontier should not shrink below the
+	// seed count for a connected sample.
+	if st.FrontierSizes[0] < 2 {
+		t.Fatalf("first frontier %d too small", st.FrontierSizes[0])
+	}
+}
+
+// The exactness anchor: full-neighbourhood sampling reproduces exact
+// GCN inference on the seeds, bit-for-bit in exact arithmetic and to
+// 1e-9 in floating point.
+func TestFullFanoutMatchesExactInference(t *testing.T) {
+	g := normalizedGraph(t, 7, 5, 9)
+	n := g.NumVertices
+	w := core.Workload{Name: "s", V: int64(n), E: g.NumEdges(), InDim: 6, OutDim: 4, Locality: 0}
+	m := core.Model{Layers: 2, Hidden: 5}
+	x := tensor.NewRandom(n, w.InDim, 1, 10)
+	weights := core.GlorotWeights(m, w, 11)
+	full, err := core.InferReference(g, x, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int32{0, 3, 7, 11, 19}
+	batch, err := BuildBatch(Uniform{G: g}, seeds, []int{0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := InferBatch(batch, x, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seeds {
+		grow := got.Row(i)
+		frow := full.Row(int(v))
+		for j := range frow {
+			diff := grow[j] - frow[j]
+			if diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("seed %d col %d: sampled %v vs exact %v", v, j, grow[j], frow[j])
+			}
+		}
+	}
+}
+
+// Restricted fan-out approximates exact inference: error shrinks as the
+// fan-out grows.
+func TestFanoutConvergence(t *testing.T) {
+	g := normalizedGraph(t, 8, 8, 12)
+	n := g.NumVertices
+	w := core.Workload{Name: "s", V: int64(n), E: g.NumEdges(), InDim: 6, OutDim: 4, Locality: 0}
+	m := core.Model{Layers: 2, Hidden: 5}
+	x := tensor.NewRandom(n, w.InDim, 1, 13)
+	weights := core.GlorotWeights(m, w, 14)
+	full, err := core.InferReference(g, x, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int32{2, 4, 8, 16}
+	errAt := func(fanout int) float64 {
+		batch, err := BuildBatch(Uniform{G: g}, seeds, []int{fanout, fanout}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := InferBatch(batch, x, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i, v := range seeds {
+			grow := got.Row(i)
+			frow := full.Row(int(v))
+			for j := range frow {
+				d := grow[j] - frow[j]
+				sum += d * d
+			}
+		}
+		return sum
+	}
+	small, big := errAt(2), errAt(64)
+	if big >= small {
+		t.Fatalf("error should shrink with fanout: fanout2=%v fanout64=%v", small, big)
+	}
+}
+
+func TestInferBatchWeightMismatch(t *testing.T) {
+	g := normalizedGraph(t, 6, 4, 15)
+	batch, err := BuildBatch(Uniform{G: g}, []int32{0}, []int{2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRandom(g.NumVertices, 4, 1, 1)
+	if _, err := InferBatch(batch, x, nil); err == nil {
+		t.Fatal("expected error for weight/level mismatch")
+	}
+}

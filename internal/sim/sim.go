@@ -1,0 +1,357 @@
+// Package sim is a deterministic discrete-event simulation engine. It is
+// the substrate under internal/piuma, standing in for the proprietary
+// PIUMA architecture simulator the paper used: components are modeled as
+// processes (goroutines driven by the engine, exactly one runnable at a
+// time) and contended resources (FIFO bandwidth servers), and time
+// advances event-to-event rather than cycle-by-cycle so that graphs with
+// millions of edges simulate in seconds.
+//
+// Determinism: the engine orders simultaneous events by scheduling
+// sequence number, and only one process ever executes at a time (the
+// engine hands control to a process and waits for it to park), so a
+// given program produces an identical event trace on every run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in picoseconds. Picosecond resolution keeps
+// byte-transfer durations exact (64 B at 12.8 GB/s is exactly 5 ns).
+type Time int64
+
+// Convenient unit multipliers.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a simulated duration to float seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Nanoseconds converts a simulated duration to float nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+type event struct {
+	t   Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() event        { return h[0] }
+func (h *eventHeap) PushEvent(e event) { heap.Push(h, e) }
+
+// Engine owns the event queue and the simulated clock.
+type Engine struct {
+	now       Time
+	events    eventHeap
+	seq       int64
+	nEvents   int64
+	liveProcs int
+	parked    map[*Proc]struct{}
+	running   bool
+	tracer    Tracer
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(map[*Proc]struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events processed so far.
+func (e *Engine) Events() int64 { return e.nEvents }
+
+// At schedules fn to run at absolute time t (panics if t is in the past).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.events.PushEvent(event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay from now.
+func (e *Engine) After(delay Time, fn func()) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Run processes events until the queue is empty. It returns an error if
+// any spawned process is still blocked when the queue drains (a
+// deadlock: some wake-up was never scheduled).
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.t
+		e.nEvents++
+		if e.tracer != nil {
+			e.tracer.Event(e.now)
+		}
+		ev.fn()
+	}
+	if e.liveProcs > 0 {
+		names := make([]string, 0, len(e.parked))
+		for p := range e.parked {
+			names = append(names, p.Name)
+		}
+		return fmt.Errorf("sim: deadlock, %d process(es) still blocked: %v", e.liveProcs, names)
+	}
+	return nil
+}
+
+// Proc is a simulated process. The function passed to Spawn runs on its
+// own goroutine but is only ever runnable while the engine is handing it
+// control, so processes may freely read and write shared simulation
+// state without locks.
+type Proc struct {
+	Name string
+	eng  *Engine
+	// resume: engine -> process ("you may run"); park: process ->
+	// engine ("I am blocked or finished").
+	resume   chan struct{}
+	park     chan struct{}
+	finished bool
+}
+
+// Spawn creates a process and schedules its first activation at the
+// current time. fn must only block via the Proc's own primitives.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		Name:   name,
+		eng:    e,
+		resume: make(chan struct{}),
+		park:   make(chan struct{}),
+	}
+	e.liveProcs++
+	if e.tracer != nil {
+		e.tracer.Process(e.now, name, "spawn")
+	}
+	go func() {
+		<-p.resume
+		fn(p)
+		p.finished = true
+		p.park <- struct{}{}
+	}()
+	e.After(0, func() { e.activate(p) })
+	return p
+}
+
+// activate transfers control to p until it parks or finishes. Must be
+// called from the engine goroutine (i.e. from an event function).
+func (e *Engine) activate(p *Proc) {
+	delete(e.parked, p)
+	if e.tracer != nil {
+		e.tracer.Process(e.now, p.Name, "resume")
+	}
+	p.resume <- struct{}{}
+	<-p.park
+	if p.finished {
+		e.liveProcs--
+		if e.tracer != nil {
+			e.tracer.Process(e.now, p.Name, "finish")
+		}
+	} else {
+		e.parked[p] = struct{}{}
+		if e.tracer != nil {
+			e.tracer.Process(e.now, p.Name, "park")
+		}
+	}
+}
+
+// suspend parks the process until the engine reactivates it.
+func (p *Proc) suspend() {
+	p.park <- struct{}{}
+	<-p.resume
+}
+
+// Engine returns the engine driving this process.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the process for d.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.SleepUntil(p.eng.now + d)
+}
+
+// SleepUntil suspends the process until absolute time t (no-op if t is
+// not in the future).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.eng.At(t, func() { p.eng.activate(p) })
+	p.suspend()
+}
+
+// WaitFor parks the process and hands the caller a wake function that
+// must eventually be invoked from engine context (an event or another
+// process) to resume it. It is the building block for queues, barriers
+// and condition-style waits.
+func (p *Proc) WaitFor(register func(wake func())) {
+	register(func() { p.eng.activate(p) })
+	p.suspend()
+}
+
+// Server is a FIFO resource with a single service timeline — the model
+// for a DRAM slice's data bus or a DMA engine. Reservations are granted
+// in call order; each occupies the server for its duration. The server
+// tracks total busy time for utilization accounting.
+type Server struct {
+	Name string
+	// next is the earliest time a new reservation can start.
+	next Time
+	// busy accumulates reserved time.
+	busy Time
+}
+
+// Reserve books dur of service starting no earlier than now, returning
+// the start and completion times. It never blocks: callers model
+// waiting by sleeping until end.
+func (s *Server) Reserve(now Time, dur Time) (start, end Time) {
+	if dur < 0 {
+		panic("sim: negative reservation")
+	}
+	start = s.next
+	if now > start {
+		start = now
+	}
+	end = start + dur
+	s.next = end
+	s.busy += dur
+	return start, end
+}
+
+// BusyTime returns the total reserved service time.
+func (s *Server) BusyTime() Time { return s.busy }
+
+// Utilization returns busy time as a fraction of elapsed.
+func (s *Server) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.busy) / float64(elapsed)
+}
+
+// Backlog returns how far the server's timeline extends past now.
+func (s *Server) Backlog(now Time) Time {
+	if s.next <= now {
+		return 0
+	}
+	return s.next - now
+}
+
+// Gate is a counting semaphore for processes — used to bound queue
+// depths (e.g. outstanding DMA descriptors per engine).
+type Gate struct {
+	Name    string
+	cap     int
+	held    int
+	waiters []func()
+}
+
+// NewGate returns a gate admitting cap concurrent holders.
+func NewGate(name string, cap int) *Gate {
+	if cap <= 0 {
+		panic("sim: gate capacity must be positive")
+	}
+	return &Gate{Name: name, cap: cap}
+}
+
+// Acquire blocks p until a slot is free.
+func (g *Gate) Acquire(p *Proc) {
+	if g.held < g.cap {
+		g.held++
+		return
+	}
+	p.WaitFor(func(wake func()) {
+		g.waiters = append(g.waiters, wake)
+	})
+	// The releaser incremented held on our behalf before waking us.
+}
+
+// Release frees a slot from engine context (an event function or a
+// process). If another process is waiting it inherits the slot.
+func (g *Gate) Release() {
+	if g.held <= 0 {
+		panic("sim: release of unheld gate")
+	}
+	if len(g.waiters) > 0 {
+		wake := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		// held stays the same: the slot transfers to the waiter.
+		wake()
+		return
+	}
+	g.held--
+}
+
+// Held returns the number of currently held slots.
+func (g *Gate) Held() int { return g.held }
+
+// Barrier releases all waiting processes once n of them have arrived —
+// the global-collective offload of the PIUMA cores, used to time kernel
+// completion.
+type Barrier struct {
+	Name    string
+	n       int
+	arrived int
+	waiters []func()
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(name string, n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier size must be positive")
+	}
+	return &Barrier{Name: name, n: n}
+}
+
+// Wait blocks p until all n participants have arrived. The last arrival
+// does not block and wakes the others.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived > b.n {
+		panic(fmt.Sprintf("sim: barrier %q overflow (%d arrivals for %d parties)", b.Name, b.arrived, b.n))
+	}
+	if b.arrived == b.n {
+		for _, wake := range b.waiters {
+			wake()
+		}
+		b.waiters = nil
+		return
+	}
+	p.WaitFor(func(wake func()) {
+		b.waiters = append(b.waiters, wake)
+	})
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderCountsEngineActivity(t *testing.T) {
+	e := NewEngine()
+	rec := NewRecorder(0)
+	e.SetTracer(rec)
+	for i := 0; i < 3; i++ {
+		e.Spawn("p", func(p *Proc) {
+			p.Sleep(10)
+			p.Sleep(10)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Transitions("spawn") != 3 {
+		t.Fatalf("spawns = %d", rec.Transitions("spawn"))
+	}
+	if rec.Transitions("finish") != 3 {
+		t.Fatalf("finishes = %d", rec.Transitions("finish"))
+	}
+	// Each process: 1 initial activation + 2 sleep wakes = 3 resumes.
+	if rec.Transitions("resume") != 9 {
+		t.Fatalf("resumes = %d", rec.Transitions("resume"))
+	}
+	// Parks = resumes - finishes.
+	if rec.Transitions("park") != 6 {
+		t.Fatalf("parks = %d", rec.Transitions("park"))
+	}
+	if rec.Events() != e.Events() {
+		t.Fatalf("recorder saw %d events, engine dispatched %d", rec.Events(), e.Events())
+	}
+}
+
+func TestRecorderSummary(t *testing.T) {
+	e := NewEngine()
+	rec := NewRecorder(Nanosecond)
+	e.SetTracer(rec)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			p.Sleep(Nanosecond)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Summary()
+	if !strings.Contains(s, "events=") || !strings.Contains(s, "activity |") {
+		t.Fatalf("summary:\n%s", s)
+	}
+}
+
+func TestRecorderEmptySummary(t *testing.T) {
+	rec := NewRecorder(0)
+	if s := rec.Summary(); !strings.Contains(s, "events=0") {
+		t.Fatalf("empty summary: %s", s)
+	}
+	if rec.BucketWidth != Microsecond {
+		t.Fatal("default bucket width should be 1us")
+	}
+}
+
+func TestSetTracerNilIsSafe(t *testing.T) {
+	e := NewEngine()
+	e.SetTracer(NewRecorder(0))
+	e.SetTracer(nil)
+	e.Spawn("p", func(p *Proc) { p.Sleep(1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

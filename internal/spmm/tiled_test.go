@@ -1,0 +1,86 @@
+package spmm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"piumagcn/internal/graph"
+	"piumagcn/internal/rmat"
+	"piumagcn/internal/tensor"
+)
+
+func TestTiledMatchesSerial(t *testing.T) {
+	a := buildGraph(t, 9, 8, 17)
+	h := tensor.NewRandom(a.NumVertices, 12, 1, 18)
+	want, err := Serial(a, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range []int{1, 7, 64, 100000} {
+		for _, workers := range []int{1, 4} {
+			got, err := Tiled(a, h, tile, workers)
+			if err != nil {
+				t.Fatalf("tile=%d workers=%d: %v", tile, workers, err)
+			}
+			if !tensor.AlmostEqual(got, want, 1e-9) {
+				t.Fatalf("tile=%d workers=%d: result differs from serial", tile, workers)
+			}
+		}
+	}
+}
+
+func TestTiledValidation(t *testing.T) {
+	a := buildGraph(t, 5, 4, 1)
+	h := tensor.NewRandom(a.NumVertices, 4, 1, 1)
+	if _, err := Tiled(a, h, 0, 1); err == nil {
+		t.Fatal("expected error for zero tile width")
+	}
+	wrong := tensor.New(a.NumVertices+1, 4)
+	if _, err := Tiled(a, wrong, 16, 1); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestTiledEmpty(t *testing.T) {
+	a, _ := graph.FromCOO(&graph.COO{NumVertices: 4})
+	h := tensor.NewRandom(4, 3, 1, 2)
+	out, err := Tiled(a, h, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbs(out) != 0 {
+		t.Fatal("edgeless tiled SpMM produced output")
+	}
+}
+
+// Property: tiling is exact for any tile width.
+func TestQuickTiledExact(t *testing.T) {
+	f := func(seed int64, tileRaw uint8) bool {
+		tile := int(tileRaw)%50 + 1
+		a := buildGraph(t, 7, 5, seed)
+		h := tensor.NewRandom(a.NumVertices, 6, 1, seed+1)
+		want, err := Serial(a, h)
+		if err != nil {
+			return false
+		}
+		got, err := Tiled(a, h, tile, 3)
+		if err != nil {
+			return false
+		}
+		return tensor.AlmostEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSpMMTiled(b *testing.B) {
+	a, _ := rmat.GenerateCSR(rmat.PowerLaw(12, 8, 1))
+	h := tensor.NewRandom(a.NumVertices, 64, 1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Tiled(a, h, 512, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

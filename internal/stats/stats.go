@@ -1,0 +1,143 @@
+// Package stats provides small numeric helpers shared by the models,
+// the benchmark harness and the calibration tests.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reductions over empty inputs.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geomean requires positive values")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Median returns the median of xs (average of the two middle elements for
+// even lengths). The input slice is not modified.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2], nil
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2, nil
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// LinearFit fits y = a + b*x by least squares and returns (a, b, r2).
+// It is used by the calibration tests to check linear-scaling claims
+// (e.g. GFLOPS vs. DRAM bandwidth in Figure 6).
+func LinearFit(xs, ys []float64) (a, b, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, errors.New("stats: length mismatch")
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return 0, 0, 0, errors.New("stats: need at least two points")
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, errors.New("stats: degenerate x values")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	// Coefficient of determination.
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return a, b, 1, nil
+	}
+	ssRes := 0.0
+	for i := range xs {
+		d := ys[i] - (a + b*xs[i])
+		ssRes += d * d
+	}
+	r2 = 1 - ssRes/ssTot
+	return a, b, r2, nil
+}
+
+// RelErr returns |got-want| / |want|. A want of zero returns |got|.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Within reports whether got is within frac relative error of want.
+func Within(got, want, frac float64) bool {
+	return RelErr(got, want) <= frac
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatalf("empty mean err = %v", err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Fatal("expected error for non-positive input")
+	}
+	if _, err := GeoMean(nil); err != ErrEmpty {
+		t.Fatal("expected ErrEmpty")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if m, _ := Min(xs); m != 1 {
+		t.Fatalf("Min = %v", m)
+	}
+	if m, _ := Max(xs); m != 5 {
+		t.Fatalf("Max = %v", m)
+	}
+	if m, _ := Median(xs); m != 3 {
+		t.Fatalf("Median = %v", m)
+	}
+	if m, _ := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("even Median = %v", m)
+	}
+	// Median must not mutate its input.
+	if xs[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("fit = %v + %vx, r2=%v", a, b, r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected too-few-points error")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("expected degenerate-x error")
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !Within(0.9, 1.0, 0.11) {
+		t.Fatal("0.9 should be within 11% of 1.0")
+	}
+	if Within(0.5, 1.0, 0.1) {
+		t.Fatal("0.5 should not be within 10% of 1.0")
+	}
+	if RelErr(2, 0) != 2 {
+		t.Fatal("RelErr with zero want should return |got|")
+	}
+}
+
+// Property: the residual-minimizing property of least squares means the
+// fitted line through any two distinct points is exact.
+func TestQuickLinearFitTwoPoints(t *testing.T) {
+	f := func(x1f, y1, y2 float64) bool {
+		if math.IsNaN(x1f) || math.IsInf(x1f, 0) || math.IsNaN(y1) || math.IsInf(y1, 0) || math.IsNaN(y2) || math.IsInf(y2, 0) {
+			return true
+		}
+		x1 := math.Mod(math.Abs(x1f), 100)
+		y1 = math.Mod(y1, 100)
+		y2 = math.Mod(y2, 100)
+		x2 := x1 + 1
+		a, b, _, err := LinearFit([]float64{x1, x2}, []float64{y1, y2})
+		if err != nil {
+			return false
+		}
+		return math.Abs(a+b*x1-y1) < 1e-6 && math.Abs(a+b*x2-y2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the additional linear-algebra operations needed by
+// the GCN training path (internal/core/train.go): transposed products,
+// row-wise softmax, and element-wise helpers.
+
+// MatMulATB computes C = Aᵀ·B without materializing Aᵀ. A is n×m, B is
+// n×p, C is m×p. Used for weight gradients (Hᵀ·G).
+func MatMulATB(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("%w: Aᵀ·B with A %dx%d, B %dx%d", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c := New(a.Cols, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Row(k)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulABT computes C = A·Bᵀ without materializing Bᵀ. A is n×m, B is
+// p×m, C is n×p. Used for input gradients (G·Wᵀ).
+func MatMulABT(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Cols {
+		return nil, fmt.Errorf("%w: A·Bᵀ with A %dx%d, B %dx%d", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			dot := 0.0
+			for k, av := range arow {
+				dot += av * brow[k]
+			}
+			crow[j] = dot
+		}
+	}
+	return c, nil
+}
+
+// SoftmaxRows applies a numerically stable softmax to every row in
+// place and returns m.
+func SoftmaxRows(m *Matrix) *Matrix {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		if len(row) == 0 {
+			continue
+		}
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			row[j] = math.Exp(v - max)
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return m
+}
+
+// Scale multiplies every element by s in place and returns m.
+func Scale(m *Matrix, s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddScaled computes m += s·other in place (SGD update) and returns m.
+func AddScaled(m, other *Matrix, s float64) (*Matrix, error) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return nil, fmt.Errorf("%w: AddScaled %dx%d vs %dx%d", ErrShape, m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	for i := range m.Data {
+		m.Data[i] += s * other.Data[i]
+	}
+	return m, nil
+}
+
+// HadamardReLUMask zeroes grad wherever act <= 0 (the ReLU backward
+// pass) in place and returns grad.
+func HadamardReLUMask(grad, act *Matrix) (*Matrix, error) {
+	if grad.Rows != act.Rows || grad.Cols != act.Cols {
+		return nil, fmt.Errorf("%w: ReLU mask %dx%d vs %dx%d", ErrShape, grad.Rows, grad.Cols, act.Rows, act.Cols)
+	}
+	for i, v := range act.Data {
+		if v <= 0 {
+			grad.Data[i] = 0
+		}
+	}
+	return grad, nil
+}

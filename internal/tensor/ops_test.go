@@ -1,0 +1,131 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulATBMatchesExplicit(t *testing.T) {
+	a := NewRandom(7, 4, 1, 1)
+	b := NewRandom(7, 5, 1, 2)
+	got, err := MatMulATB(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := transpose(a)
+	want, _ := MatMul(at, b)
+	if !AlmostEqual(got, want, 1e-12) {
+		t.Fatal("MatMulATB differs from explicit transpose product")
+	}
+	if _, err := MatMulATB(New(2, 3), New(3, 2)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestMatMulABTMatchesExplicit(t *testing.T) {
+	a := NewRandom(6, 4, 1, 3)
+	b := NewRandom(5, 4, 1, 4)
+	got, err := MatMulABT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := transpose(b)
+	want, _ := MatMul(a, bt)
+	if !AlmostEqual(got, want, 1e-12) {
+		t.Fatal("MatMulABT differs from explicit transpose product")
+	}
+	if _, err := MatMulABT(New(2, 3), New(2, 4)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := &Matrix{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 1000, 1000, 1000}}
+	SoftmaxRows(m)
+	for i := 0; i < 2; i++ {
+		sum := 0.0
+		for _, v := range m.Row(i) {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("softmax value %v out of range", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	// Row 1 is uniform despite huge magnitudes (stability check).
+	if math.Abs(m.At(1, 0)-1.0/3.0) > 1e-12 {
+		t.Fatalf("stable softmax failed: %v", m.Row(1))
+	}
+	// Monotone: larger logits get larger probabilities.
+	if !(m.At(0, 0) < m.At(0, 1) && m.At(0, 1) < m.At(0, 2)) {
+		t.Fatalf("softmax not monotone: %v", m.Row(0))
+	}
+}
+
+func TestScaleAndAddScaled(t *testing.T) {
+	m := &Matrix{Rows: 1, Cols: 2, Data: []float64{2, -4}}
+	Scale(m, 0.5)
+	if m.Data[0] != 1 || m.Data[1] != -2 {
+		t.Fatalf("Scale result %v", m.Data)
+	}
+	other := &Matrix{Rows: 1, Cols: 2, Data: []float64{10, 10}}
+	if _, err := AddScaled(m, other, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Data[0] != 2 || m.Data[1] != -1 {
+		t.Fatalf("AddScaled result %v", m.Data)
+	}
+	if _, err := AddScaled(m, New(2, 2), 1); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestHadamardReLUMask(t *testing.T) {
+	grad := &Matrix{Rows: 1, Cols: 3, Data: []float64{5, 5, 5}}
+	act := &Matrix{Rows: 1, Cols: 3, Data: []float64{-1, 0, 2}}
+	if _, err := HadamardReLUMask(grad, act); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 5}
+	for i := range want {
+		if grad.Data[i] != want[i] {
+			t.Fatalf("mask result %v", grad.Data)
+		}
+	}
+	if _, err := HadamardReLUMask(grad, New(2, 2)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+// Property: (AᵀB)ᵀ == BᵀA.
+func TestQuickTransposeProductSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		a := NewRandom(6, 3, 1, seed)
+		b := NewRandom(6, 4, 1, seed+1)
+		atb, err := MatMulATB(a, b)
+		if err != nil {
+			return false
+		}
+		bta, err := MatMulATB(b, a)
+		if err != nil {
+			return false
+		}
+		return AlmostEqual(transpose(atb), bta, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}

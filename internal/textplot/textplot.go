@@ -1,0 +1,309 @@
+// Package textplot renders the benchmark harness's tables and figures
+// as plain text: aligned tables, horizontal bar charts, stacked
+// percentage bars (the execution-time breakdowns of Figures 3, 4 and
+// 10), line series (the scaling curves of Figures 5-8) and heat grids
+// (the Figure 2 contour plane).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows with left-aligned first column and right-aligned
+// numeric columns.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	if cols == 0 {
+		return ""
+	}
+	width := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width[i], cell)
+			} else {
+				fmt.Fprintf(&b, "  %*s", width[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range width {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart: one row per (label, value).
+func Bars(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := 0
+		if max > 0 {
+			n = int(math.Round(v / max * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %.4g\n", lw, l,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), v)
+	}
+	return b.String()
+}
+
+// Segment is one component of a stacked bar.
+type Segment struct {
+	Label string
+	Value float64
+}
+
+// segmentGlyphs indexes stacked-bar fill characters by segment order.
+var segmentGlyphs = []byte{'#', '=', '.', 'o', '~', '+'}
+
+// StackedBars renders 100%-normalized stacked bars (the breakdown
+// figures). Each row shows the share of each segment; a legend maps
+// glyphs to segment labels.
+func StackedBars(rows []string, segments [][]Segment, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	lw := 0
+	for _, r := range rows {
+		if len(r) > lw {
+			lw = len(r)
+		}
+	}
+	var b strings.Builder
+	legend := map[string]byte{}
+	var legendOrder []string
+	glyphFor := func(label string, idx int) byte {
+		if g, ok := legend[label]; ok {
+			return g
+		}
+		g := segmentGlyphs[len(legend)%len(segmentGlyphs)]
+		_ = idx
+		legend[label] = g
+		legendOrder = append(legendOrder, label)
+		return g
+	}
+	for i, r := range rows {
+		total := 0.0
+		for _, s := range segments[i] {
+			total += s.Value
+		}
+		fmt.Fprintf(&b, "%-*s |", lw, r)
+		used := 0
+		for j, s := range segments[i] {
+			n := 0
+			if total > 0 {
+				n = int(math.Round(s.Value / total * float64(width)))
+			}
+			if used+n > width {
+				n = width - used
+			}
+			b.WriteString(strings.Repeat(string(glyphFor(s.Label, j)), n))
+			used += n
+		}
+		b.WriteString(strings.Repeat(" ", width-used))
+		b.WriteString("|\n")
+	}
+	b.WriteString("legend: ")
+	for i, l := range legendOrder {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", legend[l], l)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Series is one line of a line chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Lines renders multiple series against shared x labels as an ASCII
+// grid (x left-to-right, y bottom-to-top).
+func Lines(xLabels []string, series []Series, height int) string {
+	if height <= 0 {
+		height = 12
+	}
+	nx := len(xLabels)
+	if nx == 0 || len(series) == 0 {
+		return ""
+	}
+	max := 0.0
+	for _, s := range series {
+		for _, v := range s.Y {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	const colWidth = 6
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", nx*colWidth))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '@', '%'}
+	for si, s := range series {
+		for xi := 0; xi < nx && xi < len(s.Y); xi++ {
+			row := int(math.Round(s.Y[xi] / max * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			col := xi*colWidth + colWidth/2
+			grid[height-1-row][col] = marks[si%len(marks)]
+		}
+	}
+	var b strings.Builder
+	for i, row := range grid {
+		yVal := max * float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&b, "%9.3g |%s\n", yVal, string(row))
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", nx*colWidth) + "\n")
+	b.WriteString(strings.Repeat(" ", 11))
+	for _, l := range xLabels {
+		fmt.Fprintf(&b, "%-*s", colWidth, truncate(l, colWidth-1))
+	}
+	b.WriteByte('\n')
+	b.WriteString("legend: ")
+	for i, s := range series {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", marks[i%len(marks)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// HeatGrid renders a 2-D value grid (rows x cols) with one glyph per
+// cell, binned over [0, 1] — the Figure 2 contour plane. rowLabels
+// annotate rows; colLabels the columns.
+func HeatGrid(rowLabels, colLabels []string, values [][]float64) string {
+	shades := []byte(" .:-=+*#%@")
+	var b strings.Builder
+	lw := 0
+	for _, l := range rowLabels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	for i, row := range values {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "%-*s |", lw, label)
+		for _, v := range row {
+			idx := int(math.Round(clamp01(v) * float64(len(shades)-1)))
+			b.WriteByte(shades[idx])
+			b.WriteByte(shades[idx]) // double-wide cells read better
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%-*s  ", lw, "")
+	for i := range colLabelsIter(values, colLabels) {
+		if i%4 == 0 && i < len(colLabels) {
+			fmt.Fprintf(&b, "%-8s", truncate(colLabels[i], 7))
+		}
+	}
+	b.WriteByte('\n')
+	b.WriteString("scale: '" + string(shades) + "' = 0% to 100%\n")
+	return b.String()
+}
+
+func colLabelsIter(values [][]float64, labels []string) []struct{} {
+	n := len(labels)
+	if len(values) > 0 && len(values[0]) > n {
+		n = len(values[0])
+	}
+	return make([]struct{}, n)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 0 {
+		return ""
+	}
+	return s[:n]
+}

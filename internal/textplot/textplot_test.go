@@ -1,0 +1,135 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	tb := &Table{Headers: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "22222") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// All rows align to the same width.
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("misaligned rows:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	if out := (&Table{}).String(); out != "" {
+		t.Fatalf("empty table should render empty, got %q", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"a"}}
+	tb.AddRow("x", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("ragged row dropped:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 bars:\n%s", out)
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Fatalf("max bar should fill width:\n%s", out)
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Fatalf("half bar should fill half:\n%s", out)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars([]string{"a"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero bar should be empty:\n%s", out)
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	rows := []string{"w1", "w2"}
+	segs := [][]Segment{
+		{{Label: "SpMM", Value: 3}, {Label: "Dense", Value: 1}},
+		{{Label: "SpMM", Value: 1}, {Label: "Dense", Value: 3}},
+	}
+	out := StackedBars(rows, segs, 20)
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "SpMM") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Row 1: 15 '#' and 5 '='.
+	if strings.Count(lines[0], "#") != 15 || strings.Count(lines[0], "=") != 5 {
+		t.Fatalf("segment proportions wrong:\n%s", out)
+	}
+}
+
+func TestStackedBarsEmptyTotal(t *testing.T) {
+	out := StackedBars([]string{"w"}, [][]Segment{{{Label: "x", Value: 0}}}, 10)
+	if !strings.Contains(out, "w") {
+		t.Fatalf("row label missing:\n%s", out)
+	}
+}
+
+func TestLines(t *testing.T) {
+	out := Lines([]string{"1", "2", "4"}, []Series{
+		{Name: "dma", Y: []float64{1, 2, 4}},
+		{Name: "model", Y: []float64{1, 2.2, 4.4}},
+	}, 8)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("series marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: *=dma  o=model") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestLinesEmpty(t *testing.T) {
+	if out := Lines(nil, nil, 5); out != "" {
+		t.Fatalf("empty chart should render empty, got %q", out)
+	}
+}
+
+func TestHeatGrid(t *testing.T) {
+	out := HeatGrid([]string{"r1", "r2"}, []string{"c1", "c2"}, [][]float64{
+		{0, 1},
+		{0.5, 0.25},
+	})
+	if !strings.Contains(out, "@@") {
+		t.Fatalf("full cell should use densest shade:\n%s", out)
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Fatalf("missing scale:\n%s", out)
+	}
+}
+
+func TestHeatGridClamps(t *testing.T) {
+	out := HeatGrid([]string{"r"}, []string{"c"}, [][]float64{{-1, 2}})
+	if !strings.Contains(out, "  ") || !strings.Contains(out, "@@") {
+		t.Fatalf("clamping failed:\n%s", out)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if truncate("abcdef", 3) != "abc" {
+		t.Fatal("truncate failed")
+	}
+	if truncate("ab", 3) != "ab" {
+		t.Fatal("truncate should keep short strings")
+	}
+	if truncate("ab", 0) != "" {
+		t.Fatal("truncate to zero")
+	}
+}

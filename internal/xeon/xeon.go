@@ -1,0 +1,252 @@
+// Package xeon models the paper's CPU baseline: a dual-socket Intel Xeon
+// Platinum 8380 (40 cores/socket, AVX-512 with two FMA units, 512 GB
+// DRAM) running the PyTorch-Geometric GCN of Section III-A.
+//
+// The model is analytical and calibrated to the public platform facts
+// the paper quotes plus the behaviours it reports:
+//
+//   - a STREAM-style bandwidth curve that saturates at the node's
+//     memory bandwidth and *degrades* past 80 threads when
+//     hyper-threading contends for the memory system (Figure 8 left);
+//   - a cache-capacity feature-reuse model: graphs whose feature
+//     matrices fit in the ~220 MB of aggregate L2+L3 serve SpMM mostly
+//     from cache at small K and lose that benefit as K grows
+//     (Figure 3's ddi/proteins discussion);
+//   - a roofline dense-MM model with an efficiency factor representing
+//     framework overheads on tall-skinny operands;
+//   - a glue-code model (activations and framework wrappers) that is
+//     element-wise memory traffic plus a per-kernel-launch constant.
+package xeon
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params describes the modelled CPU node.
+type Params struct {
+	// SocketCores and Sockets define the physical core inventory
+	// (40 x 2 for the Platinum 8380 node of Section III-A).
+	SocketCores int
+	Sockets     int
+	// ClockGHz is the sustained all-core clock.
+	ClockGHz float64
+	// PerCoreBandwidth is the memory bandwidth one core can draw before
+	// the socket saturates (bytes/s).
+	PerCoreBandwidth float64
+	// NodeBandwidth is the measured STREAM plateau of the full node
+	// (bytes/s).
+	NodeBandwidth float64
+	// HTPenalty is the fractional bandwidth loss at full 2x
+	// hyper-threading oversubscription (Figure 8 left: "more than 80
+	// cores leads to hyper-threading which actually causes contention").
+	HTPenalty float64
+	// CacheBytes is the aggregate L2+L3 capacity usable for feature
+	// rows (below the raw 220 MB: indices, weights and activations
+	// compete for it).
+	CacheBytes int64
+	// CacheBandwidth is the effective bandwidth of gathers served from
+	// the cache hierarchy — cache-resident SpMM is faster than DRAM but
+	// not free (ddi and proteins still spend most of their time in
+	// SpMM, Figure 3).
+	CacheBandwidth float64
+	// VectorFLOPsPerCycle is the per-core AVX-512 fp32 throughput
+	// (2 FMA units x 16 lanes x 2 ops).
+	VectorFLOPsPerCycle int
+	// DenseEfficiency discounts the dense-MM roofline for framework and
+	// tall-skinny-operand overheads.
+	DenseEfficiency float64
+	// GatherEfficiency discounts bandwidth for the irregular gathers of
+	// SpMM relative to streaming STREAM traffic.
+	GatherEfficiency float64
+	// FeatureBytes per element (4: PyTorch fp32).
+	FeatureBytes int
+	// RowPtrBytes/ColIndexBytes/ValueBytes describe torch-sparse CSR.
+	RowPtrBytes, ColIndexBytes, ValueBytes int
+	// KernelLaunchOverhead is the per-PyTorch-kernel constant (seconds).
+	KernelLaunchOverhead float64
+	// DRAMBytes is main-memory capacity (512 GB node).
+	DRAMBytes int64
+}
+
+// DefaultParams returns the calibrated Xeon 8380 2S node.
+func DefaultParams() Params {
+	return Params{
+		SocketCores:          40,
+		Sockets:              2,
+		ClockGHz:             2.3,
+		PerCoreBandwidth:     26e9,
+		NodeBandwidth:        330e9,
+		HTPenalty:            0.18,
+		CacheBytes:           120 << 20,
+		CacheBandwidth:       0.7e12,
+		VectorFLOPsPerCycle:  64,
+		DenseEfficiency:      0.22,
+		GatherEfficiency:     0.28,
+		FeatureBytes:         4,
+		RowPtrBytes:          8,
+		ColIndexBytes:        8,
+		ValueBytes:           4,
+		KernelLaunchOverhead: 30e-6,
+		DRAMBytes:            512 << 30,
+	}
+}
+
+// Validate rejects non-physical parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.SocketCores <= 0 || p.Sockets <= 0:
+		return errors.New("xeon: need positive core inventory")
+	case p.ClockGHz <= 0:
+		return errors.New("xeon: clock must be positive")
+	case p.PerCoreBandwidth <= 0 || p.NodeBandwidth <= 0:
+		return errors.New("xeon: bandwidths must be positive")
+	case p.HTPenalty < 0 || p.HTPenalty >= 1:
+		return fmt.Errorf("xeon: HT penalty %v out of [0,1)", p.HTPenalty)
+	case p.CacheBytes <= 0 || p.DRAMBytes <= 0:
+		return errors.New("xeon: capacities must be positive")
+	case p.CacheBandwidth <= 0:
+		return errors.New("xeon: cache bandwidth must be positive")
+	case p.VectorFLOPsPerCycle <= 0:
+		return errors.New("xeon: vector width must be positive")
+	case p.DenseEfficiency <= 0 || p.DenseEfficiency > 1:
+		return errors.New("xeon: dense efficiency out of (0,1]")
+	case p.GatherEfficiency <= 0 || p.GatherEfficiency > 1:
+		return errors.New("xeon: gather efficiency out of (0,1]")
+	case p.FeatureBytes <= 0 || p.RowPtrBytes <= 0 || p.ColIndexBytes <= 0 || p.ValueBytes <= 0:
+		return errors.New("xeon: element sizes must be positive")
+	case p.KernelLaunchOverhead < 0:
+		return errors.New("xeon: negative launch overhead")
+	}
+	return nil
+}
+
+// PhysicalCores returns the node's physical core count (80).
+func (p Params) PhysicalCores() int { return p.SocketCores * p.Sockets }
+
+// Bandwidth returns the STREAM-style effective bandwidth at the given
+// software thread count (Figure 8 left): linear per-core scaling, a
+// plateau at the node bandwidth, and a contention droop once threads
+// exceed the physical cores (hyper-threading).
+func (p Params) Bandwidth(threads int) float64 {
+	if threads <= 0 {
+		return 0
+	}
+	phys := p.PhysicalCores()
+	linear := float64(threads) * p.PerCoreBandwidth
+	bw := math.Min(linear, p.NodeBandwidth)
+	if threads > phys {
+		over := float64(threads-phys) / float64(phys) // 0..1 for 2x HT
+		if over > 1 {
+			over = 1
+		}
+		bw *= 1 - p.HTPenalty*over
+	}
+	return bw
+}
+
+// PeakDenseFLOPS returns the achievable dense throughput at the given
+// thread count (FLOP/s), already discounted by DenseEfficiency.
+func (p Params) PeakDenseFLOPS(threads int) float64 {
+	cores := threads
+	if phys := p.PhysicalCores(); cores > phys {
+		cores = phys // HT does not add FMA throughput
+	}
+	peak := float64(cores) * p.ClockGHz * 1e9 * float64(p.VectorFLOPsPerCycle)
+	return peak * p.DenseEfficiency
+}
+
+// Workload carries the graph-shape inputs of the kernel-time models.
+type Workload struct {
+	V int64 // vertices
+	E int64 // edges
+	// Locality in [0,1]: cache-friendliness of the vertex order beyond
+	// raw capacity (Section V-A credits products' cache reuse).
+	Locality float64
+}
+
+// CacheHitFraction estimates the probability that a neighbour's feature
+// row is served from cache during SpMM: the resident fraction of the
+// feature matrix, boosted by the dataset's reuse locality.
+func (p Params) CacheHitFraction(w Workload, k int) float64 {
+	if w.V <= 0 || k <= 0 {
+		return 0
+	}
+	footprint := float64(w.V) * float64(k) * float64(p.FeatureBytes)
+	fit := math.Min(1, float64(p.CacheBytes)/footprint)
+	loc := math.Max(0, math.Min(1, w.Locality))
+	return fit + (1-fit)*loc*0.5
+}
+
+// SpMMTime models the aggregation kernel: CSR streaming traffic, feature
+// gathers split between cache hits (served at cache bandwidth) and DRAM
+// misses (served at gather-discounted DRAM bandwidth), and one output
+// write per row — with an AVX compute floor.
+func (p Params) SpMMTime(w Workload, k, threads int) float64 {
+	if w.E == 0 || k <= 0 {
+		return p.KernelLaunchOverhead
+	}
+	hit := p.CacheHitFraction(w, k)
+	csr := float64(w.V+1)*float64(p.RowPtrBytes) + float64(w.E)*float64(p.ColIndexBytes+p.ValueBytes)
+	feat := float64(w.E) * float64(k) * float64(p.FeatureBytes)
+	wr := float64(w.V) * float64(k) * float64(p.FeatureBytes)
+	dramBW := p.Bandwidth(threads) * p.GatherEfficiency
+	memTime := (csr+feat*(1-hit)+wr)/dramBW + feat*hit/p.CacheBandwidth
+	// Compute floor: 2 FLOPs per non-zero element; gathers prevent full
+	// vector issue, so credit half the vector width.
+	flop := 2 * float64(w.E) * float64(k)
+	compTime := flop / (p.PeakDenseFLOPS(threads) / p.DenseEfficiency * 0.5)
+	return math.Max(memTime, compTime) + p.KernelLaunchOverhead
+}
+
+// DenseTime models the update kernel H·W for |V|xKin times KinxKout as
+// a roofline between the dense peak and the streaming bandwidth.
+func (p Params) DenseTime(v, kin, kout int64, threads int) float64 {
+	if v == 0 || kin == 0 || kout == 0 {
+		return p.KernelLaunchOverhead
+	}
+	flop := 2 * float64(v) * float64(kin) * float64(kout)
+	bytes := float64(v) * float64(kin+kout) * float64(p.FeatureBytes)
+	ct := flop / p.PeakDenseFLOPS(threads)
+	mt := bytes / p.Bandwidth(threads)
+	return math.Max(ct, mt) + p.KernelLaunchOverhead
+}
+
+// FusedLayerTime models a Graphite-style fused aggregation+update layer
+// (Section VII, [9]): the dense update's output feeds the aggregation
+// without a round trip through DRAM, saving one write and one read of
+// the |V|xKout intermediate. The saving only materializes when the
+// intermediate does not fit in cache (otherwise it was cheap anyway).
+func (p Params) FusedLayerTime(w Workload, kin, kout, threads int) float64 {
+	unfused := p.DenseTime(w.V, int64(kin), int64(kout), threads) + p.SpMMTime(w, kout, threads)
+	intermediate := float64(w.V) * float64(kout) * float64(p.FeatureBytes)
+	if intermediate <= float64(p.CacheBytes) {
+		return unfused
+	}
+	saving := 2 * intermediate / (p.Bandwidth(threads) * p.GatherEfficiency)
+	fused := unfused - saving
+	if min := unfused * 0.5; fused < min {
+		fused = min // fusion cannot eliminate the kernels themselves
+	}
+	return fused
+}
+
+// GlueTime models activations and PyTorch wrapper work per layer: an
+// element-wise pass over the activations (read + write) plus a handful
+// of launch overheads. Working sets larger than cache pay full DRAM
+// traffic — the papers-scale effect Section III-C observes ("activation
+// inputs were evicted from the cache after being computed").
+func (p Params) GlueTime(v, k int64, threads int) float64 {
+	if v == 0 || k <= 0 {
+		return p.KernelLaunchOverhead
+	}
+	bytes := 2 * float64(v) * float64(k) * float64(p.FeatureBytes)
+	footprint := float64(v) * float64(k) * float64(p.FeatureBytes)
+	if footprint <= float64(p.CacheBytes) {
+		// Served mostly from cache: charge a quarter of the traffic.
+		bytes *= 0.25
+	}
+	const glueLaunches = 4 // activation, dropout-off, residual copies, bookkeeping
+	return bytes/p.Bandwidth(threads) + glueLaunches*p.KernelLaunchOverhead
+}

@@ -1,0 +1,208 @@
+package xeon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	muts := []func(*Params){
+		func(p *Params) { p.SocketCores = 0 },
+		func(p *Params) { p.Sockets = -1 },
+		func(p *Params) { p.ClockGHz = 0 },
+		func(p *Params) { p.PerCoreBandwidth = 0 },
+		func(p *Params) { p.NodeBandwidth = -1 },
+		func(p *Params) { p.HTPenalty = 1 },
+		func(p *Params) { p.CacheBytes = 0 },
+		func(p *Params) { p.CacheBandwidth = 0 },
+		func(p *Params) { p.VectorFLOPsPerCycle = 0 },
+		func(p *Params) { p.DenseEfficiency = 0 },
+		func(p *Params) { p.DenseEfficiency = 1.5 },
+		func(p *Params) { p.GatherEfficiency = 0 },
+		func(p *Params) { p.FeatureBytes = 0 },
+		func(p *Params) { p.KernelLaunchOverhead = -1 },
+		func(p *Params) { p.DRAMBytes = 0 },
+	}
+	for i, mut := range muts {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+// Figure 8 (left): bandwidth scales with cores, plateaus at the node
+// limit, and *degrades* past 80 threads (hyper-threading contention).
+func TestBandwidthCurve(t *testing.T) {
+	p := DefaultParams()
+	if p.Bandwidth(0) != 0 {
+		t.Fatal("zero threads should give zero bandwidth")
+	}
+	if p.Bandwidth(1) >= p.Bandwidth(16) {
+		t.Fatal("bandwidth should grow with cores before saturation")
+	}
+	full := p.Bandwidth(80)
+	if full > p.NodeBandwidth {
+		t.Fatalf("bandwidth %v exceeds node plateau", full)
+	}
+	ht := p.Bandwidth(160)
+	if ht >= full {
+		t.Fatalf("160 threads (%v) should degrade below 80 cores (%v)", ht, full)
+	}
+	if ht < full*0.7 {
+		t.Fatalf("HT degradation too strong: %v vs %v", ht, full)
+	}
+}
+
+// The paper's crossover: 16 PIUMA cores at 25.6 GB/s per slice exceed
+// the Xeon's 16-core bandwidth near that same count (Figure 8 left).
+func TestCrossoverVsPIUMASlices(t *testing.T) {
+	p := DefaultParams()
+	const slice = 25.6e9
+	// Below the crossover region the CPU stays (marginally) ahead; at
+	// 16+ cores the PIUMA slices must win.
+	if 16*slice <= p.Bandwidth(16) {
+		t.Fatalf("16 PIUMA slices (%v) should exceed CPU at 16 cores (%v)", 16*slice, p.Bandwidth(16))
+	}
+	if 8*slice > p.Bandwidth(8) {
+		t.Fatalf("8 PIUMA slices (%v) should not exceed CPU at 8 cores (%v)", 8*slice, p.Bandwidth(8))
+	}
+}
+
+func TestCacheHitFraction(t *testing.T) {
+	p := DefaultParams()
+	small := Workload{V: 10_000, E: 100_000, Locality: 0}
+	if hit := p.CacheHitFraction(small, 8); hit < 0.99 {
+		t.Fatalf("tiny workload should be fully cached, hit = %v", hit)
+	}
+	huge := Workload{V: 100_000_000, E: 1_000_000_000, Locality: 0}
+	if hit := p.CacheHitFraction(huge, 256); hit > 0.01 {
+		t.Fatalf("papers-scale workload should not cache, hit = %v", hit)
+	}
+	// Locality raises the hit rate for non-fitting workloads.
+	local := huge
+	local.Locality = 0.8
+	if p.CacheHitFraction(local, 256) <= p.CacheHitFraction(huge, 256) {
+		t.Fatal("locality should increase cache hits")
+	}
+	if p.CacheHitFraction(Workload{}, 8) != 0 {
+		t.Fatal("empty workload should have zero hits")
+	}
+}
+
+// Figure 3: for cache-resident graphs (ddi, proteins) the cache hit
+// rate falls as K grows (larger embeddings evict the feature matrix),
+// so the marginal cost of feature traffic rises with K.
+func TestCacheBenefitFallsWithK(t *testing.T) {
+	p := DefaultParams()
+	w := Workload{V: 132_534, E: 39_561_252, Locality: 0.8} // proteins
+	if h8, h256 := p.CacheHitFraction(w, 8), p.CacheHitFraction(w, 256); h256 >= h8 {
+		t.Fatalf("hit rate should fall with K: %v -> %v", h8, h256)
+	}
+	t8 := p.SpMMTime(w, 8, 80)
+	t256 := p.SpMMTime(w, 256, 80)
+	if t256 <= t8 {
+		t.Fatal("SpMM time must grow with K")
+	}
+	// Per-embedding-element cost must rise once the matrix stops
+	// fitting: t256/256 > t8/8 after subtracting the K-independent CSR
+	// streaming term.
+	csr := (float64(w.V+1)*8 + float64(w.E)*12) / (p.Bandwidth(80) * p.GatherEfficiency)
+	perElem8 := (t8 - csr) / 8
+	perElem256 := (t256 - csr) / 256
+	if perElem256 <= perElem8 {
+		t.Fatalf("per-element SpMM cost should rise past cache capacity: %v vs %v", perElem256, perElem8)
+	}
+}
+
+func TestSpMMTimeEdgeCases(t *testing.T) {
+	p := DefaultParams()
+	if tm := p.SpMMTime(Workload{}, 8, 80); tm != p.KernelLaunchOverhead {
+		t.Fatalf("empty workload SpMM time = %v", tm)
+	}
+	if tm := p.SpMMTime(Workload{V: 10, E: 10}, 0, 80); tm != p.KernelLaunchOverhead {
+		t.Fatalf("K=0 SpMM time = %v", tm)
+	}
+}
+
+func TestDenseTimeRoofline(t *testing.T) {
+	p := DefaultParams()
+	// Large K: compute bound — doubling Kout doubles time.
+	t1 := p.DenseTime(1_000_000, 256, 256, 80)
+	t2 := p.DenseTime(1_000_000, 256, 512, 80)
+	ratio := t2 / t1
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("compute-bound dense should scale ~2x, got %.2f", ratio)
+	}
+	if tm := p.DenseTime(0, 8, 8, 80); tm != p.KernelLaunchOverhead {
+		t.Fatal("degenerate dense should cost only the launch")
+	}
+}
+
+func TestGlueTime(t *testing.T) {
+	p := DefaultParams()
+	small := p.GlueTime(1000, 8, 80)
+	big := p.GlueTime(100_000_000, 256, 80)
+	if big <= small {
+		t.Fatal("glue time must grow with activation size")
+	}
+	if tm := p.GlueTime(0, 8, 80); tm != p.KernelLaunchOverhead {
+		t.Fatal("empty glue should cost only the launch")
+	}
+}
+
+func TestPeakDenseFLOPSHTCap(t *testing.T) {
+	p := DefaultParams()
+	if p.PeakDenseFLOPS(160) != p.PeakDenseFLOPS(80) {
+		t.Fatal("hyper-threads should not add FMA throughput")
+	}
+	if p.PeakDenseFLOPS(40) >= p.PeakDenseFLOPS(80) {
+		t.Fatal("dense peak should scale with physical cores")
+	}
+}
+
+// Property: SpMM time is monotone non-decreasing in E and K.
+func TestQuickSpMMMonotone(t *testing.T) {
+	p := DefaultParams()
+	f := func(eRaw uint32, kRaw uint8) bool {
+		e := int64(eRaw)%10_000_000 + 1
+		k := int(kRaw)%256 + 1
+		w := Workload{V: 500_000, E: e, Locality: 0.3}
+		base := p.SpMMTime(w, k, 80)
+		wider := p.SpMMTime(w, k+8, 80)
+		more := p.SpMMTime(Workload{V: 500_000, E: e + 100_000, Locality: 0.3}, k, 80)
+		return wider >= base && more >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Section VII (Graphite): fusing the update into the aggregation saves
+// the DRAM round trip of the intermediate when it does not fit in
+// cache, and is a no-op when it does.
+func TestFusedLayerTime(t *testing.T) {
+	p := DefaultParams()
+	threads := p.PhysicalCores()
+	big := Workload{V: 2_449_029, E: 61_859_140, Locality: 0.5} // products
+	unfused := p.DenseTime(big.V, 256, 256, threads) + p.SpMMTime(big, 256, threads)
+	fused := p.FusedLayerTime(big, 256, 256, threads)
+	if fused >= unfused {
+		t.Fatalf("fusion should help out-of-cache workloads: %v vs %v", fused, unfused)
+	}
+	if fused < unfused*0.5 {
+		t.Fatalf("fusion gain too large: %v vs %v", fused, unfused)
+	}
+	small := Workload{V: 4_267, E: 1_334_889, Locality: 0.9} // ddi: intermediate fits
+	unfusedS := p.DenseTime(small.V, 256, 256, threads) + p.SpMMTime(small, 256, threads)
+	if got := p.FusedLayerTime(small, 256, 256, threads); got != unfusedS {
+		t.Fatalf("in-cache fusion should be a no-op: %v vs %v", got, unfusedS)
+	}
+}
