@@ -7,6 +7,7 @@ package piumagcn_test
 // Run `cmd/piumabench -experiment all` for full-fidelity sweeps.
 
 import (
+	"context"
 	"testing"
 
 	"piumagcn/internal/bench"
@@ -21,7 +22,7 @@ func runExperiment(b *testing.B, id string) {
 	opts := bench.QuickOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := e.Run(opts)
+		r, err := e.Run(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}

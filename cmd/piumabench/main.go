@@ -6,19 +6,28 @@
 //	piumabench -experiment fig5
 //	piumabench -experiment all -max-sim-edges 262144
 //	piumabench -experiment fig9 -quick
+//	piumabench -experiment table1 -json
 //
 // Each experiment prints a text report (tables, stacked breakdown bars,
 // scaling curves) whose rows mirror what the paper's figure reports; see
-// EXPERIMENTS.md for the paper-vs-measured index.
+// EXPERIMENTS.md for the paper-vs-measured index. With -json the same
+// reports are emitted in the wire format of the piumaserve API (one
+// JSON document per experiment). An interrupt (SIGINT/SIGTERM) cancels
+// the in-flight experiment and exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"piumagcn/internal/bench"
+	"piumagcn/internal/serve"
 )
 
 func main() {
@@ -28,6 +37,7 @@ func main() {
 		quick       = flag.Bool("quick", false, "trim sweep points for a fast run")
 		maxSimEdges = flag.Int64("max-sim-edges", 1<<17, "edge cap for event-level simulations")
 		seed        = flag.Int64("seed", 7, "synthetic-generation seed")
+		jsonOut     = flag.Bool("json", false, "emit each report as JSON (the piumaserve wire format)")
 	)
 	flag.Parse()
 
@@ -42,6 +52,9 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := bench.Options{MaxSimEdges: *maxSimEdges, Quick: *quick, Seed: *seed}
 	var targets []bench.Experiment
 	if *experiment == "all" {
@@ -50,16 +63,24 @@ func main() {
 		e, err := bench.ByID(*experiment)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "valid experiment IDs:\n  %s\n", strings.Join(bench.ValidIDs(), "\n  "))
 			os.Exit(1)
 		}
 		targets = []bench.Experiment{e}
 	}
 	for _, e := range targets {
 		start := time.Now()
-		report, err := e.Run(opts)
+		report, err := e.Run(ctx, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := serve.EncodeReport(os.Stdout, report, opts, time.Since(start)); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: encoding report: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			continue
 		}
 		fmt.Print(report.String())
 		fmt.Printf("\n[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,87 @@
+// Command piumaserve exposes the paper's experiment registry as an
+// always-on characterization service (see internal/serve): a JSON API
+// over a bounded job queue and worker pool with result caching and
+// request deduplication.
+//
+// Usage:
+//
+//	piumaserve -addr :8080 -workers 4 -queue-depth 32
+//
+// Then:
+//
+//	curl localhost:8080/v1/experiments
+//	curl -X POST localhost:8080/v1/runs -d '{"experiment":"fig5","options":{"quick":true}}'
+//	curl localhost:8080/v1/runs/<id>
+//	curl -X POST 'localhost:8080/v1/runs?wait=true' -d '{"experiment":"table1"}'
+//	curl localhost:8080/metrics
+//
+// SIGTERM/SIGINT drains gracefully: new submissions get 503, in-flight
+// simulations are canceled, and the process exits once the worker pool
+// and HTTP listener have stopped (bounded by -shutdown-grace).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"piumagcn/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = half the CPUs)")
+		queueDepth = flag.Int("queue-depth", 16, "bounded job queue depth (full queue returns 429)")
+		cacheCap   = flag.Int("cache-cap", 128, "completed reports kept for cache hits")
+		runTimeout = flag.Duration("run-timeout", 0, "per-run execution bound (0 = unbounded)")
+		grace      = flag.Duration("shutdown-grace", 30*time.Second, "drain deadline after SIGTERM")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheCap:   *cacheCap,
+		RunTimeout: *runTimeout,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("piumaserve listening on %s (%d experiments)", *addr, len(srv.Experiments()))
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("piumaserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("piumaserve: draining (grace %v)", *grace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "piumaserve: worker pool did not drain: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "piumaserve: http shutdown: %v\n", err)
+	}
+	log.Printf("piumaserve: stopped")
+}

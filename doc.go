@@ -24,6 +24,9 @@
 //     contour methodology, and a real forward-inference path.
 //   - internal/bench + cmd/piumabench: runners that regenerate Table I
 //     and Figures 2-10 (plus the Section VI/VII extension studies).
+//   - internal/serve + cmd/piumaserve: the characterization service —
+//     a JSON HTTP API over a bounded job queue and worker pool with
+//     request deduplication and a content-addressed result cache.
 //
 // See README.md for a tour and EXPERIMENTS.md for the paper-vs-measured
 // index.

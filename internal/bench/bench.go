@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,14 +14,15 @@ import (
 
 // Options tunes experiment cost. Event-level simulations run on
 // synthetic stand-ins capped at MaxSimEdges edges (the analytical
-// models always evaluate the full Table I sizes).
+// models always evaluate the full Table I sizes). The JSON names are
+// the wire format of the internal/serve run API.
 type Options struct {
 	// MaxSimEdges caps generated graphs for the event-level simulator.
-	MaxSimEdges int64
+	MaxSimEdges int64 `json:"max_sim_edges"`
 	// Quick trims sweep points (used by unit tests and -short runs).
-	Quick bool
+	Quick bool `json:"quick"`
 	// Seed drives all synthetic generation.
-	Seed int64
+	Seed int64 `json:"seed"`
 }
 
 // DefaultOptions balances fidelity and runtime (a few minutes for the
@@ -34,7 +36,10 @@ func QuickOptions() Options {
 	return Options{MaxSimEdges: 1 << 14, Quick: true, Seed: 7}
 }
 
-func (o Options) validate() error {
+// Validate rejects option sets no experiment can run. It is exported so
+// API front ends (internal/serve) can reject a bad request before
+// queueing it.
+func (o Options) Validate() error {
 	if o.MaxSimEdges <= 0 {
 		return fmt.Errorf("bench: MaxSimEdges must be positive, got %d", o.MaxSimEdges)
 	}
@@ -43,18 +48,18 @@ func (o Options) validate() error {
 
 // Section is one titled block of a report.
 type Section struct {
-	Heading string
-	Body    string
+	Heading string `json:"heading"`
+	Body    string `json:"body"`
 }
 
 // Report is an experiment's rendered output.
 type Report struct {
-	ID       string
-	Title    string
-	Sections []Section
+	ID       string    `json:"id"`
+	Title    string    `json:"title"`
+	Sections []Section `json:"sections"`
 	// Notes record paper-vs-reproduction observations for
 	// EXPERIMENTS.md.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Add appends a section.
@@ -86,12 +91,15 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Experiment is one reproducible artifact of the paper.
+// Experiment is one reproducible artifact of the paper. Run honors
+// ctx: long sweeps check for cancellation between points and return
+// ctx.Err(), so callers (the serve job queue, signal-driven CLIs) can
+// abandon an in-flight simulation.
 type Experiment struct {
 	ID          string
 	Title       string
 	Description string
-	Run         func(Options) (*Report, error)
+	Run         func(ctx context.Context, o Options) (*Report, error)
 }
 
 // registry holds all experiments, keyed by ID.
@@ -115,15 +123,23 @@ func All() []Experiment {
 	return out
 }
 
-// ByID finds one experiment.
+// ValidIDs returns every registered experiment ID in report order. It
+// backs the ByID error message, the CLI usage text and the serve API's
+// 404 body.
+func ValidIDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// ByID finds one experiment. The error for an unknown ID enumerates
+// every valid ID (it doubles as the 404 body of the serve API).
 func ByID(id string) (Experiment, error) {
 	e, ok := registry[id]
 	if !ok {
-		ids := make([]string, 0, len(registry))
-		for _, e := range All() {
-			ids = append(ids, e.ID)
-		}
-		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have: %s)", id, strings.Join(ids, ", "))
+		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (valid: %s)", id, strings.Join(ValidIDs(), ", "))
 	}
 	return e, nil
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -37,11 +39,27 @@ func TestAllSorted(t *testing.T) {
 
 func TestOptionsValidate(t *testing.T) {
 	bad := Options{MaxSimEdges: 0}
-	if err := bad.validate(); err == nil {
+	if err := bad.Validate(); err == nil {
 		t.Fatal("expected error for zero MaxSimEdges")
 	}
-	if err := DefaultOptions().validate(); err != nil {
+	if err := DefaultOptions().Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestValidIDsSortedAndInErrors(t *testing.T) {
+	ids := ValidIDs()
+	if len(ids) != len(All()) {
+		t.Fatalf("ValidIDs returned %d ids, registry has %d", len(ids), len(All()))
+	}
+	_, err := ByID("nope")
+	if err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+	for _, id := range ids {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("ByID error does not enumerate %q: %v", id, err)
+		}
 	}
 }
 
@@ -66,7 +84,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			r, err := e.Run(o)
+			r, err := e.Run(context.Background(), o)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -85,8 +103,21 @@ func TestAllExperimentsQuick(t *testing.T) {
 
 func TestExperimentsRejectBadOptions(t *testing.T) {
 	for _, e := range All() {
-		if _, err := e.Run(Options{MaxSimEdges: -1}); err == nil {
+		if _, err := e.Run(context.Background(), Options{MaxSimEdges: -1}); err == nil {
 			t.Errorf("%s: expected error for bad options", e.ID)
+		}
+	}
+}
+
+// Every experiment must notice an already-canceled context instead of
+// running its sweeps: this is what makes serve's graceful shutdown and
+// run cancellation effective.
+func TestExperimentsHonorCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range All() {
+		if _, err := e.Run(ctx, QuickOptions()); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: got %v, want context.Canceled", e.ID, err)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"piumagcn/internal/core"
@@ -18,24 +19,24 @@ func init() {
 		ID:          "fig3",
 		Title:       "GCN execution-time breakdown on CPU (Figure 3)",
 		Description: "Per-workload relative time in SpMM / Dense MM / Glue plus absolute kernel times, swept over hidden embedding dimensions.",
-		Run: func(o Options) (*Report, error) {
-			return runBreakdown(o, "fig3", "CPU (Xeon 8380 2S)", core.NewCPU())
+		Run: func(ctx context.Context, o Options) (*Report, error) {
+			return runBreakdown(ctx, o, "fig3", "CPU (Xeon 8380 2S)", core.NewCPU())
 		},
 	})
 	register(Experiment{
 		ID:          "fig4",
 		Title:       "GCN execution-time breakdown on GPU (Figure 4)",
 		Description: "Per-workload relative time including Offload and (for papers) CPU-side Sampling.",
-		Run: func(o Options) (*Report, error) {
-			return runBreakdown(o, "fig4", "GPU (A100-40GB)", core.NewGPU())
+		Run: func(ctx context.Context, o Options) (*Report, error) {
+			return runBreakdown(ctx, o, "fig4", "GPU (A100-40GB)", core.NewGPU())
 		},
 	})
 	register(Experiment{
 		ID:          "fig10",
 		Title:       "GCN execution-time breakdown on PIUMA (Figure 10)",
 		Description: "Per-workload relative time on the PIUMA node, showing the shift toward Dense MM at large K.",
-		Run: func(o Options) (*Report, error) {
-			return runBreakdown(o, "fig10", "PIUMA node", core.NewPIUMA())
+		Run: func(ctx context.Context, o Options) (*Report, error) {
+			return runBreakdown(ctx, o, "fig10", "PIUMA node", core.NewPIUMA())
 		},
 	})
 	register(Experiment{
@@ -74,8 +75,8 @@ func sweepWorkloads(o Options, withPower bool) []core.Workload {
 	return out
 }
 
-func runBreakdown(o Options, id, platformLabel string, p core.Platform) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runBreakdown(ctx context.Context, o Options, id, platformLabel string, p core.Platform) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	r := &Report{ID: id, Title: "GCN execution-time breakdown on " + platformLabel}
@@ -87,6 +88,9 @@ func runBreakdown(o Options, id, platformLabel string, p core.Platform) (*Report
 	abs := &textplot.Table{Headers: []string{"workload", "K", "total(s)", "SpMM(s)", "Dense(s)", "Glue(s)", "Offload(s)", "Sampling(s)"}}
 	for _, w := range workloads {
 		for _, k := range dims {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			b, err := p.RunGCN(w, core.DefaultModel(k))
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s K=%d: %w", id, w.Name, k, err)
@@ -113,8 +117,8 @@ func runBreakdown(o Options, id, platformLabel string, p core.Platform) (*Report
 	return r, nil
 }
 
-func runFig9(o Options) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runFig9(ctx context.Context, o Options) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	r := &Report{ID: "fig9", Title: "Single-node PIUMA and A100 vs dual-socket Xeon"}
@@ -129,6 +133,9 @@ func runFig9(o Options) (*Report, error) {
 	barK := dims[len(dims)-1]
 	for _, w := range workloads {
 		for _, k := range dims {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			m := core.DefaultModel(k)
 			cb, err := cpu.RunGCN(w, m)
 			if err != nil {

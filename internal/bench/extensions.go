@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"piumagcn/internal/core"
@@ -53,8 +54,8 @@ func init() {
 	})
 }
 
-func runExtFusion(o Options) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runExtFusion(ctx context.Context, o Options) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	r := &Report{ID: "ext-fusion", Title: "Layer-fusion ablation"}
@@ -65,6 +66,9 @@ func runExtFusion(o Options) (*Report, error) {
 	tb := &textplot.Table{Headers: []string{"workload", "platform", "unfused(s)", "fused(s)", "speedup"}}
 	maxGain := 0.0
 	for _, name := range []string{"products", "papers", "arxiv"} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		d, err := ogb.ByName(name)
 		if err != nil {
 			return nil, err
@@ -100,8 +104,8 @@ func runExtFusion(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runExtHetero(o Options) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runExtHetero(ctx context.Context, o Options) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	r := &Report{ID: "ext-hetero", Title: "Heterogeneous SoC what-if"}
@@ -115,6 +119,9 @@ func runExtHetero(o Options) (*Report, error) {
 	const k = 256
 	tb := &textplot.Table{Headers: []string{"workload", "PIUMA x", "PIUMA+dense x", "dense share before", "after"}}
 	for _, name := range []string{"arxiv", "mag", "products", "citation2", "papers"} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		d, err := ogb.ByName(name)
 		if err != nil {
 			return nil, err
@@ -151,8 +158,8 @@ func runExtHetero(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runExtDistributed(o Options) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runExtDistributed(ctx context.Context, o Options) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	r := &Report{ID: "ext-distributed", Title: "Distributed CPU vs DGAS scaling"}
@@ -172,6 +179,9 @@ func runExtDistributed(o Options) (*Report, error) {
 	}
 	tb := &textplot.Table{Headers: []string{"nodes", "MPI time(s)", "MPI speedup", "MPI efficiency", "DGAS time(s)", "DGAS speedup"}}
 	for _, n := range nodeCounts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c := distributed.DefaultCluster(n)
 		tn, err := c.SpMMTime(w, k)
 		if err != nil {
@@ -199,6 +209,9 @@ func runExtDistributed(o Options) (*Report, error) {
 	}
 	cutTb := &textplot.Table{Headers: []string{"parts", "random cut", "range cut", "bfs-grow cut", "model cut"}}
 	for _, n := range []int{2, 8, 32} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, m := range []partition.Method{partition.Random, partition.Range, partition.BFSGrow} {
 			res, err := partition.Partition(g, n, m)
@@ -220,8 +233,8 @@ func runExtDistributed(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runExtVertexPar(o Options) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runExtVertexPar(ctx context.Context, o Options) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	g, err := simGraph(o)
@@ -236,6 +249,9 @@ func runExtVertexPar(o Options) (*Report, error) {
 	tb := &textplot.Table{Headers: []string{"cores", "K", "edge-par GF", "vertex-par GF", "edge/vertex", "edge barrier", "vertex barrier"}}
 	for _, c := range coreSet {
 		for _, k := range []int{8, 256} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cfg := piuma.DefaultConfig()
 			cfg.Cores = c
 			edge, err := kernels.Run(kernels.KindDMA, cfg, g, k)
@@ -258,8 +274,8 @@ func runExtVertexPar(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runExtRandomWalk(o Options) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runExtRandomWalk(ctx context.Context, o Options) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	g, err := simGraph(o)
@@ -275,6 +291,9 @@ func runExtRandomWalk(o Options) (*Report, error) {
 	}
 	tb := &textplot.Table{Headers: []string{"thr/MTP", "walkers", "Msteps/s @45ns", "@720ns", "retained"}}
 	for _, th := range threads {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg := piuma.DefaultConfig()
 		cfg.Cores = 4
 		cfg.ThreadsPerMTP = th

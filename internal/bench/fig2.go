@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"piumagcn/internal/core"
@@ -17,8 +18,8 @@ func init() {
 	})
 }
 
-func runFig2(o Options) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runFig2(ctx context.Context, o Options) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	r := &Report{ID: "fig2", Title: "SpMM share vs scale and density on CPU"}
@@ -31,6 +32,9 @@ func runFig2(o Options) (*Report, error) {
 		densities = []float64{1e-6, 1e-4, 1e-2}
 	}
 	const k = 256
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	grid, err := core.ComputeContourGrid(cpu, scales, densities, k)
 	if err != nil {
 		return nil, err

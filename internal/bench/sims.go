@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -101,8 +102,8 @@ func fig5Cores(o Options) []int {
 	return []int{1, 2, 4, 8, 16, 32}
 }
 
-func runFig5(o Options) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runFig5(ctx context.Context, o Options) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	g, err := simGraph(o)
@@ -121,6 +122,9 @@ func runFig5(o Options) (*Report, error) {
 		var dmaN, loopN, modelN []float64
 		base := 0.0
 		for _, c := range cores {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cfg := piuma.DefaultConfig()
 			cfg.Cores = c
 			mg, err := modelGFLOPS(cfg, g, k)
@@ -160,8 +164,8 @@ func runFig5(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig6(o Options) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runFig6(ctx context.Context, o Options) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	g, err := simGraph(o)
@@ -185,6 +189,9 @@ func runFig6(o Options) (*Report, error) {
 	}
 	for _, c := range coreSet {
 		for _, k := range dims {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			row := []string{fmt.Sprintf("%d", c), fmt.Sprintf("%d", k)}
 			for _, m := range bwMults {
 				cfg := piuma.DefaultConfig()
@@ -204,6 +211,9 @@ func runFig6(o Options) (*Report, error) {
 	latTb := &textplot.Table{Headers: append([]string{"cores", "K"}, latLabels(lats)...)}
 	for _, c := range coreSet {
 		for _, k := range dims {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			row := []string{fmt.Sprintf("%d", c), fmt.Sprintf("%d", k)}
 			for _, l := range lats {
 				cfg := piuma.DefaultConfig()
@@ -231,8 +241,8 @@ func latLabels(lats []int) []string {
 	return out
 }
 
-func runFig7(o Options) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runFig7(ctx context.Context, o Options) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	g, err := simGraph(o)
@@ -249,6 +259,9 @@ func runFig7(o Options) (*Report, error) {
 	for _, k := range []int{8, 256} {
 		tb := &textplot.Table{Headers: append([]string{"thr/MTP"}, latLabels(lats)...)}
 		for _, th := range threads {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			row := []string{fmt.Sprintf("%d", th)}
 			for _, l := range lats {
 				cfg := piuma.DefaultConfig()
@@ -270,6 +283,9 @@ func runFig7(o Options) (*Report, error) {
 	var rows []string
 	var segs [][]textplot.Segment
 	for _, th := range threads {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg := piuma.DefaultConfig()
 		cfg.Cores = 8
 		cfg.ThreadsPerMTP = th
@@ -292,8 +308,8 @@ func runFig7(o Options) (*Report, error) {
 	return r, nil
 }
 
-func runFig8(o Options) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runFig8(ctx context.Context, o Options) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	g, err := simGraph(o)
@@ -323,6 +339,9 @@ func runFig8(o Options) (*Report, error) {
 	mid := &textplot.Table{Headers: []string{"cores", "PIUMA GF (sim)", "Xeon GF (model)"}}
 	scaling := fig5Cores(o)
 	for _, c := range scaling {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg := piuma.DefaultConfig()
 		cfg.Cores = c
 		res, err := kernels.Run(kernels.KindDMA, cfg, g, k)
@@ -340,6 +359,9 @@ func runFig8(o Options) (*Report, error) {
 	var segs [][]textplot.Segment
 	nnzShares := map[int]float64{}
 	for _, kk := range []int{8, 64, 256} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg := piuma.DefaultConfig()
 		cfg.Cores = 16
 		res, err := kernels.Run(kernels.KindDMA, cfg, g, kk)

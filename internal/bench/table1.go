@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"piumagcn/internal/graph"
@@ -17,8 +18,8 @@ func init() {
 	})
 }
 
-func runTable1(o Options) (*Report, error) {
-	if err := o.validate(); err != nil {
+func runTable1(ctx context.Context, o Options) (*Report, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	r := &Report{ID: "table1", Title: "OGB dataset descriptions"}
@@ -42,6 +43,9 @@ func runTable1(o Options) (*Report, error) {
 		names = []string{"ddi", "proteins", "arxiv", "collab", "ppa", "mag", "products", "citation2", "papers"}
 	}
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		d, err := ogb.ByName(name)
 		if err != nil {
 			return nil, err

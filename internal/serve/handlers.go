@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"piumagcn/internal/bench"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	GET    /v1/experiments   the served experiment registry
+//	POST   /v1/runs          submit a run; ?wait=true blocks until done
+//	GET    /v1/runs          list known runs, newest first
+//	GET    /v1/runs/{id}     poll one run; ?wait=true blocks until done
+//	DELETE /v1/runs/{id}     cancel a queued or running run
+//	GET    /healthz          liveness (503 while draining)
+//	GET    /metrics          Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancelRun)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	out := make([]ExperimentResource, 0, len(s.cfg.Experiments))
+	for _, e := range s.cfg.Experiments {
+		out = append(out, ExperimentResource{ID: e.ID, Title: e.Title, Description: e.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// submitRequest is the POST /v1/runs body. Omitted option fields keep
+// their bench.DefaultOptions values.
+type submitRequest struct {
+	Experiment string         `json:"experiment"`
+	Options    *bench.Options `json:"options"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	defaults := bench.DefaultOptions()
+	req := submitRequest{Options: &defaults}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return
+	}
+	if req.Experiment == "" {
+		writeError(w, http.StatusBadRequest, `missing "experiment" field`)
+		return
+	}
+	wait := r.URL.Query().Get("wait") == "true"
+
+	v, existing, err := s.Submit(req.Experiment, *req.Options, wait)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	if wait && !v.Status.terminal() {
+		// Block on the run; if this client disconnects and nobody else
+		// wants the run, Wait cancels it.
+		v, err = s.Wait(r.Context(), v.ID)
+		if err != nil {
+			// Client gone: nothing useful to write.
+			return
+		}
+	}
+	status := http.StatusAccepted
+	if existing || v.Status.terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, resourceFromView(v, existing))
+}
+
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownExperiment):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrInvalidOptions):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	views := s.Runs()
+	out := make([]RunResource, 0, len(views))
+	for _, v := range views {
+		// The listing stays light: reports are fetched per run.
+		v.Report = nil
+		out = append(out, resourceFromView(v, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run "+id)
+		return
+	}
+	if r.URL.Query().Get("wait") == "true" && !v.Status.terminal() {
+		var err error
+		v, err = s.Wait(r.Context(), id)
+		if err != nil {
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resourceFromView(v, false))
+}
+
+func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, err := s.Cancel(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resourceFromView(v, false))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"experiments": len(s.cfg.Experiments),
+		"queue_depth": s.QueueDepth(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w, s.QueueDepth(), s.Draining())
+}

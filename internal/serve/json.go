@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"piumagcn/internal/bench"
+)
+
+// RunResource is the wire shape of one run. It is the body of every
+// /v1/runs response and, via EncodeReport, the -json output of
+// cmd/piumabench — one serializer for both surfaces.
+type RunResource struct {
+	ID          string        `json:"id"`
+	Experiment  string        `json:"experiment"`
+	Options     bench.Options `json:"options"`
+	Status      Status        `json:"status"`
+	Cached      bool          `json:"cached,omitempty"`
+	Hits        int64         `json:"hits,omitempty"`
+	SubmittedAt *time.Time    `json:"submitted_at,omitempty"`
+	ElapsedMS   int64         `json:"elapsed_ms,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	Report      *bench.Report `json:"report,omitempty"`
+}
+
+// ExperimentResource is one entry of the /v1/experiments listing.
+type ExperimentResource struct {
+	ID          string `json:"id"`
+	Title       string `json:"title"`
+	Description string `json:"description"`
+}
+
+func resourceFromView(v RunView, cached bool) RunResource {
+	res := RunResource{
+		ID:         v.ID,
+		Experiment: v.Experiment,
+		Options:    v.Options,
+		Status:     v.Status,
+		Cached:     cached,
+		Hits:       v.Hits,
+		ElapsedMS:  v.Elapsed().Milliseconds(),
+		Error:      v.Err,
+		Report:     v.Report,
+	}
+	if !v.Submitted.IsZero() {
+		t := v.Submitted
+		res.SubmittedAt = &t
+	}
+	return res
+}
+
+// EncodeReport writes a completed run resource for rep — identical to
+// what GET /v1/runs/{id} would return for the same experiment and
+// options, including the content-addressed run ID.
+func EncodeReport(w io.Writer, rep *bench.Report, o bench.Options, elapsed time.Duration) error {
+	return encodeJSON(w, RunResource{
+		ID:         RunID(rep.ID, o),
+		Experiment: rep.ID,
+		Options:    o,
+		Status:     StatusDone,
+		ElapsedMS:  elapsed.Milliseconds(),
+		Report:     rep,
+	})
+}
+
+func encodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = encodeJSON(w, v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}

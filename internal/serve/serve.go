@@ -1,0 +1,509 @@
+// Package serve turns the bench experiment registry into an always-on
+// characterization service: a JSON HTTP API over a bounded job queue
+// and worker pool, with singleflight-style deduplication and a
+// content-addressed result cache so identical submissions under heavy
+// traffic collapse into a single simulation.
+//
+// The lifecycle of a submission:
+//
+//	POST /v1/runs ── RunID(experiment, options) ──┐
+//	                                              ├─ existing run? → dedup / cache hit
+//	                                              └─ new run ─ bounded queue ─ worker pool
+//	                                                           (full → 429, draining → 503)
+//
+// Run IDs are content addresses: the same (experiment ID, Options)
+// pair always maps to the same run, which is what makes deduplication
+// and caching a single map lookup. Experiments execute under a context
+// derived from the server's base context, so Shutdown cancels in-flight
+// simulations and the bench runners (which check their context between
+// sweep points) return promptly.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"piumagcn/internal/bench"
+)
+
+// Sentinel errors; the HTTP handlers map them onto status codes.
+var (
+	ErrUnknownExperiment = errors.New("unknown experiment")
+	ErrInvalidOptions    = errors.New("invalid options")
+	ErrQueueFull         = errors.New("job queue full")
+	ErrDraining          = errors.New("server draining")
+	ErrUnknownRun        = errors.New("unknown run")
+)
+
+// Config tunes the service. The zero value is usable: every field has
+// a sensible default applied by New.
+type Config struct {
+	// Workers is the size of the simulation worker pool
+	// (default: half the CPUs, at least 2).
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-running runs;
+	// submissions beyond it are rejected with ErrQueueFull (default 16).
+	QueueDepth int
+	// CacheCap bounds how many completed reports are kept for cache
+	// hits; the oldest completions are evicted first (default 128).
+	CacheCap int
+	// RunTimeout bounds a single experiment execution (0 = unbounded).
+	RunTimeout time.Duration
+	// Experiments is the served registry (default bench.All()). Tests
+	// inject synthetic experiments here.
+	Experiments []bench.Experiment
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = max(2, runtime.GOMAXPROCS(0)/2)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 128
+	}
+	if c.Experiments == nil {
+		c.Experiments = bench.All()
+	}
+	return c
+}
+
+// Status is a run's lifecycle state.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+func (st Status) terminal() bool {
+	return st == StatusDone || st == StatusFailed || st == StatusCanceled
+}
+
+// RunID is the content address of a submission: the same experiment
+// and options always yield the same ID, which is what collapses
+// identical requests onto one run.
+func RunID(experimentID string, o bench.Options) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%t|%d", experimentID, o.MaxSimEdges, o.Quick, o.Seed)))
+	return "r-" + hex.EncodeToString(h[:8])
+}
+
+// run is the server-side record of one submission. All mutable fields
+// are guarded by Server.mu; done is closed exactly once, on reaching a
+// terminal status.
+type run struct {
+	id   string
+	exp  bench.Experiment
+	opts bench.Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	status    Status
+	report    *bench.Report
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	hits      int64
+	waiters   int
+	// abandonable runs (created by a synchronous ?wait=true request and
+	// never re-requested asynchronously) are canceled when their last
+	// waiter disconnects.
+	abandonable bool
+
+	done chan struct{}
+}
+
+// RunView is an immutable snapshot of a run, safe to use after
+// Server.mu is released.
+type RunView struct {
+	ID         string
+	Experiment string
+	Options    bench.Options
+	Status     Status
+	Report     *bench.Report
+	Err        string
+	Submitted  time.Time
+	Started    time.Time
+	Finished   time.Time
+	Hits       int64
+}
+
+func (r *run) view() RunView {
+	return RunView{
+		ID:         r.id,
+		Experiment: r.exp.ID,
+		Options:    r.opts,
+		Status:     r.status,
+		Report:     r.report,
+		Err:        r.errMsg,
+		Submitted:  r.submitted,
+		Started:    r.started,
+		Finished:   r.finished,
+		Hits:       r.hits,
+	}
+}
+
+// Elapsed is the run's execution time so far (zero before it starts).
+func (v RunView) Elapsed() time.Duration {
+	if v.Started.IsZero() {
+		return 0
+	}
+	if v.Finished.IsZero() {
+		return time.Since(v.Started)
+	}
+	return v.Finished.Sub(v.Started)
+}
+
+// Server owns the queue, the worker pool and the run table.
+type Server struct {
+	cfg  Config
+	byID map[string]bench.Experiment
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *run
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	runs      map[string]*run
+	completed []string // terminal run IDs in completion order, for eviction
+	draining  bool
+
+	metrics *metrics
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	byID := make(map[string]bench.Experiment, len(cfg.Experiments))
+	for _, e := range cfg.Experiments {
+		byID[e.ID] = e
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		byID:    byID,
+		baseCtx: ctx,
+		stop:    stop,
+		queue:   make(chan *run, cfg.QueueDepth),
+		runs:    make(map[string]*run),
+		metrics: newMetrics(),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Experiments returns the served registry in registration order.
+func (s *Server) Experiments() []bench.Experiment { return s.cfg.Experiments }
+
+// validIDs enumerates the served experiment IDs, sorted, for error
+// bodies (mirrors bench.ValidIDs but respects injected registries).
+func (s *Server) validIDs() []string {
+	ids := make([]string, 0, len(s.byID))
+	for id := range s.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Submit accepts one run request. abandonable marks a synchronous
+// submission whose run may be canceled when every waiter disconnects.
+// The bool result reports whether an existing run absorbed the request
+// (a dedup or cache hit).
+func (s *Server) Submit(experimentID string, o bench.Options, abandonable bool) (RunView, bool, error) {
+	e, ok := s.byID[experimentID]
+	if !ok {
+		return RunView{}, false, fmt.Errorf("%w %q (valid: %s)", ErrUnknownExperiment, experimentID, strings.Join(s.validIDs(), ", "))
+	}
+	if err := o.Validate(); err != nil {
+		return RunView{}, false, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	id := RunID(experimentID, o)
+
+	s.mu.Lock()
+	if r, ok := s.runs[id]; ok && !(r.status == StatusFailed || r.status == StatusCanceled) {
+		// Queued/running: singleflight dedup. Done: cache hit. Failures
+		// are never cached — they fall through and resubmit below.
+		r.hits++
+		r.abandonable = r.abandonable && abandonable
+		if r.status == StatusDone {
+			s.metrics.incCacheHit()
+		} else {
+			s.metrics.incDedupHit()
+		}
+		v := r.view()
+		s.mu.Unlock()
+		return v, true, nil
+	}
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.incRejected("draining")
+		return RunView{}, false, ErrDraining
+	}
+	rctx, cancel := context.WithCancel(s.baseCtx)
+	r := &run{
+		id:          id,
+		exp:         e,
+		opts:        o,
+		ctx:         rctx,
+		cancel:      cancel,
+		status:      StatusQueued,
+		submitted:   time.Now(),
+		abandonable: abandonable,
+		done:        make(chan struct{}),
+	}
+	select {
+	case s.queue <- r:
+		s.dropTerminalLocked(id) // a failed/canceled record is being replaced
+		s.runs[id] = r
+		s.metrics.incSubmitted()
+		v := r.view()
+		s.mu.Unlock()
+		return v, false, nil
+	default:
+		s.mu.Unlock()
+		cancel()
+		s.metrics.incRejected("queue_full")
+		return RunView{}, false, ErrQueueFull
+	}
+}
+
+// dropTerminalLocked removes id from the completion list when a fresh
+// run is about to replace its failed/canceled record.
+func (s *Server) dropTerminalLocked(id string) {
+	if _, ok := s.runs[id]; !ok {
+		return
+	}
+	for i, cid := range s.completed {
+		if cid == id {
+			s.completed = append(s.completed[:i], s.completed[i+1:]...)
+			break
+		}
+	}
+}
+
+// Get returns a snapshot of one run.
+func (s *Server) Get(id string) (RunView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return RunView{}, false
+	}
+	return r.view(), true
+}
+
+// Runs snapshots every known run, most recently submitted first.
+func (s *Server) Runs() []RunView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RunView, 0, len(s.runs))
+	for _, r := range s.runs {
+		out = append(out, r.view())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Submitted.Equal(out[j].Submitted) {
+			return out[i].Submitted.After(out[j].Submitted)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Wait blocks until the run reaches a terminal status or ctx is done.
+// If the last waiter of an abandonable run disconnects before the run
+// finishes, the run itself is canceled — this is how a client
+// disconnect aborts an in-flight simulation no other client wants.
+func (s *Server) Wait(ctx context.Context, id string) (RunView, error) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	if !ok {
+		s.mu.Unlock()
+		return RunView{}, fmt.Errorf("%w %q", ErrUnknownRun, id)
+	}
+	r.waiters++
+	done := r.done
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		r.waiters--
+		abandon := r.waiters == 0 && r.abandonable && !r.status.terminal()
+		s.mu.Unlock()
+		if abandon {
+			s.Cancel(id)
+		}
+	}()
+
+	select {
+	case <-done:
+		v, _ := s.Get(id)
+		return v, nil
+	case <-ctx.Done():
+		v, _ := s.Get(id)
+		return v, ctx.Err()
+	}
+}
+
+// Cancel aborts a run: a queued run is marked canceled immediately, a
+// running one has its context canceled and is marked canceled when the
+// experiment returns. Terminal runs are left untouched.
+func (s *Server) Cancel(id string) (RunView, error) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	if !ok {
+		s.mu.Unlock()
+		return RunView{}, fmt.Errorf("%w %q", ErrUnknownRun, id)
+	}
+	if r.status.terminal() {
+		v := r.view()
+		s.mu.Unlock()
+		return v, nil
+	}
+	r.cancel()
+	if r.status == StatusQueued {
+		s.finishLocked(r, nil, context.Canceled)
+	}
+	v := r.view()
+	s.mu.Unlock()
+	return v, nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth is the number of accepted-but-not-running runs.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Shutdown drains the service: new submissions are refused with
+// ErrDraining, in-flight experiment contexts are canceled (the bench
+// runners notice between sweep points), workers exit, and any runs
+// still queued are marked canceled. It returns ctx.Err() if the pool
+// does not drain in time.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.stop()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	// Whatever is still sitting in the queue will never run.
+	for {
+		select {
+		case r := <-s.queue:
+			s.mu.Lock()
+			if !r.status.terminal() {
+				s.finishLocked(r, nil, context.Canceled)
+			}
+			s.mu.Unlock()
+		default:
+			return err
+		}
+	}
+}
+
+// worker executes queued runs until the base context is canceled.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case r := <-s.queue:
+			s.execute(r)
+		}
+	}
+}
+
+func (s *Server) execute(r *run) {
+	s.mu.Lock()
+	if r.status != StatusQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	r.status = StatusRunning
+	r.started = time.Now()
+	s.mu.Unlock()
+	s.metrics.incStarted()
+
+	ctx := r.ctx
+	if s.cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RunTimeout)
+		defer cancel()
+	}
+	rep, err := r.exp.Run(ctx, r.opts)
+	if err == nil && rep == nil {
+		err = fmt.Errorf("experiment %s returned no report", r.exp.ID)
+	}
+
+	s.mu.Lock()
+	s.finishLocked(r, rep, err)
+	s.mu.Unlock()
+}
+
+// finishLocked moves a run to its terminal status, closes done, frees
+// its context, records metrics and applies cache eviction. Callers
+// hold s.mu.
+func (s *Server) finishLocked(r *run, rep *bench.Report, err error) {
+	r.finished = time.Now()
+	switch {
+	case err == nil:
+		r.status = StatusDone
+		r.report = rep
+		s.metrics.observeCompleted(r.exp.ID, r.finished.Sub(r.started))
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		r.status = StatusCanceled
+		r.errMsg = err.Error()
+		s.metrics.incCanceled()
+	default:
+		r.status = StatusFailed
+		r.errMsg = err.Error()
+		s.metrics.incFailed()
+	}
+	close(r.done)
+	r.cancel()
+	s.completed = append(s.completed, r.id)
+	for len(s.completed) > s.cfg.CacheCap {
+		evict := s.completed[0]
+		s.completed = s.completed[1:]
+		if old, ok := s.runs[evict]; ok && old.status.terminal() {
+			delete(s.runs, evict)
+			s.metrics.incEvicted()
+		}
+	}
+}
