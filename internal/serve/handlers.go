@@ -51,6 +51,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
 		return
 	}
+	if req.Options == nil {
+		// "options": null overwrites the pre-seeded defaults.
+		req.Options = &defaults
+	}
 	if req.Experiment == "" {
 		writeError(w, http.StatusBadRequest, `missing "experiment" field`)
 		return

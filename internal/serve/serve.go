@@ -23,6 +23,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -97,7 +98,13 @@ func (st Status) terminal() bool {
 // and options always yield the same ID, which is what collapses
 // identical requests onto one run.
 func RunID(experimentID string, o bench.Options) string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%t|%d", experimentID, o.MaxSimEdges, o.Quick, o.Seed)))
+	// Hash a canonical encoding of the whole struct so future Options
+	// fields participate in the content address automatically.
+	enc, err := json.Marshal(o)
+	if err != nil {
+		panic(fmt.Sprintf("serve: bench.Options not JSON-encodable: %v", err))
+	}
+	h := sha256.Sum256([]byte(experimentID + "|" + string(enc)))
 	return "r-" + hex.EncodeToString(h[:8])
 }
 
@@ -354,13 +361,18 @@ func (s *Server) Wait(ctx context.Context, id string) (RunView, error) {
 		}
 	}()
 
+	// Snapshot from the retained run pointer: a re-lookup by ID could
+	// miss if the record was evicted the moment it completed.
+	snapshot := func() RunView {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return r.view()
+	}
 	select {
 	case <-done:
-		v, _ := s.Get(id)
-		return v, nil
+		return snapshot(), nil
 	case <-ctx.Done():
-		v, _ := s.Get(id)
-		return v, ctx.Err()
+		return snapshot(), ctx.Err()
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -193,6 +194,23 @@ func TestSubmitDefaultsOmittedOptions(t *testing.T) {
 	def := bench.DefaultOptions()
 	if res.Options.MaxSimEdges != def.MaxSimEdges || !res.Options.Quick || res.Options.Seed != def.Seed {
 		t.Fatalf("options = %+v, want defaults with quick=true", res.Options)
+	}
+}
+
+// TestSubmitNullOptionsUsesDefaults: an explicit "options": null used to
+// overwrite the pre-seeded defaults pointer and panic the handler on the
+// later dereference; it must behave like omitting the field entirely.
+func TestSubmitNullOptionsUsesDefaults(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := newTestServer(t, serve.Config{Experiments: []bench.Experiment{blockingExperiment("block", nil, release)}})
+	w := doJSON(t, s.Handler(), "POST", "/v1/runs", `{"experiment":"block","options":null}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202; body: %s", w.Code, w.Body.String())
+	}
+	res := decodeRun(t, w)
+	if res.Options != bench.DefaultOptions() {
+		t.Fatalf("options = %+v, want defaults %+v", res.Options, bench.DefaultOptions())
 	}
 }
 
@@ -538,5 +556,35 @@ func TestRunIDIsContentAddressed(t *testing.T) {
 			t.Fatalf("collision: %s", v)
 		}
 		seen[v] = true
+	}
+}
+
+// TestRunIDCoversAllOptionFields perturbs every bench.Options field via
+// reflection and requires the content address to change, so a future
+// field can't silently be left out of the hash and alias distinct runs.
+func TestRunIDCoversAllOptionFields(t *testing.T) {
+	base := bench.DefaultOptions()
+	baseID := serve.RunID("fig5", base)
+	rt := reflect.TypeOf(base)
+	for i := 0; i < rt.NumField(); i++ {
+		o := base
+		f := reflect.ValueOf(&o).Elem().Field(i)
+		switch f.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(f.Int() + 1)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(f.Uint() + 1)
+		case reflect.Bool:
+			f.SetBool(!f.Bool())
+		case reflect.String:
+			f.SetString(f.String() + "x")
+		case reflect.Float32, reflect.Float64:
+			f.SetFloat(f.Float() + 1)
+		default:
+			t.Fatalf("Options field %s has kind %s: extend this test", rt.Field(i).Name, f.Kind())
+		}
+		if serve.RunID("fig5", o) == baseID {
+			t.Errorf("field %s does not affect RunID", rt.Field(i).Name)
+		}
 	}
 }
