@@ -7,6 +7,8 @@
 //	piumabench -experiment all -max-sim-edges 262144
 //	piumabench -experiment fig9 -quick
 //	piumabench -experiment table1 -json
+//	piumabench -experiment fig7 -quick -trace fig7.json
+//	piumabench -experiment fig8 -profile
 //
 // Each experiment prints a text report (tables, stacked breakdown bars,
 // scaling curves) whose rows mirror what the paper's figure reports; see
@@ -14,6 +16,12 @@
 // reports are emitted in the wire format of the piumaserve API (one
 // JSON document per experiment). An interrupt (SIGINT/SIGTERM) cancels
 // the in-flight experiment and exits non-zero.
+//
+// -trace writes every simulated run's span activity as a Chrome
+// trace_event JSON file — open it in ui.perfetto.dev or
+// chrome://tracing. -profile prints a per-run activity summary after
+// each experiment. Either flag also attaches a per-component
+// utilization section to the experiment reports.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"time"
 
 	"piumagcn/internal/bench"
+	"piumagcn/internal/obs"
 	"piumagcn/internal/serve"
 )
 
@@ -38,6 +47,8 @@ func main() {
 		maxSimEdges = flag.Int64("max-sim-edges", 1<<17, "edge cap for event-level simulations")
 		seed        = flag.Int64("seed", 7, "synthetic-generation seed")
 		jsonOut     = flag.Bool("json", false, "emit each report as JSON (the piumaserve wire format)")
+		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON file (open in ui.perfetto.dev)")
+		profile     = flag.Bool("profile", false, "print a simulation activity summary after each experiment")
 	)
 	flag.Parse()
 
@@ -68,21 +79,61 @@ func main() {
 		}
 		targets = []bench.Experiment{e}
 	}
+
+	// Either profiling flag attaches a profiler to the experiment
+	// context; the bench kernel helpers register every simulated run
+	// with it, and each experiment's wall-clock interval lands on the
+	// trace's host track (so even analytical experiments like fig2
+	// yield a loadable timeline).
+	var prof *obs.Profiler
+	if *traceOut != "" || *profile {
+		prof = obs.NewProfiler(obs.ProfilerOptions{})
+		ctx = obs.NewContext(ctx, prof)
+	}
+
+	wall := time.Now()
 	for _, e := range targets {
 		start := time.Now()
+		mark := prof.Mark()
 		report, err := e.Run(ctx, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		if prof != nil {
+			prof.RecordHostSpan(e.ID, start.Sub(wall), time.Since(start))
 		}
 		if *jsonOut {
 			if err := serve.EncodeReport(os.Stdout, report, opts, time.Since(start)); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: encoding report: %v\n", e.ID, err)
 				os.Exit(1)
 			}
-			continue
+		} else {
+			fmt.Print(report.String())
+			fmt.Printf("\n[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
-		fmt.Print(report.String())
-		fmt.Printf("\n[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *profile {
+			fmt.Printf("[%s simulation activity]\n%s\n", e.ID, prof.SummarySince(mark))
+		}
 	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, prof); err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (load it in ui.perfetto.dev)\n", *traceOut)
+	}
+}
+
+func writeTrace(path string, prof *obs.Profiler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := prof.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -13,7 +13,13 @@
 //	curl -X POST localhost:8080/v1/runs -d '{"experiment":"fig5","options":{"quick":true}}'
 //	curl localhost:8080/v1/runs/<id>
 //	curl -X POST 'localhost:8080/v1/runs?wait=true' -d '{"experiment":"table1"}'
+//	curl localhost:8080/v1/runs/<id>/profile
 //	curl localhost:8080/metrics
+//
+// The /profile endpoint returns a done run's per-component simulation
+// utilization breakdown (409 while the run is still queued or running);
+// /metrics includes the aggregated simulation counters alongside the
+// service's own.
 //
 // SIGTERM/SIGINT drains gracefully: new submissions get 503, in-flight
 // simulations are canceled, and the process exits once the worker pool

@@ -6,6 +6,7 @@ import (
 
 	"piumagcn/internal/core"
 	"piumagcn/internal/distributed"
+	"piumagcn/internal/obs"
 	"piumagcn/internal/ogb"
 	"piumagcn/internal/partition"
 	"piumagcn/internal/piuma"
@@ -241,6 +242,7 @@ func runExtVertexPar(ctx context.Context, o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	mark := obs.MarkFrom(ctx)
 	r := &Report{ID: "ext-vertexpar", Title: "Vertex- vs edge-parallel SpMM on PIUMA"}
 	coreSet := []int{4, 16}
 	if o.Quick {
@@ -254,11 +256,11 @@ func runExtVertexPar(ctx context.Context, o Options) (*Report, error) {
 			}
 			cfg := piuma.DefaultConfig()
 			cfg.Cores = c
-			edge, err := kernels.Run(kernels.KindDMA, cfg, g, k)
+			edge, err := runKernel(ctx, fmt.Sprintf("ext-vertexpar edge c=%d K=%d", c, k), kernels.KindDMA, cfg, g, k)
 			if err != nil {
 				return nil, err
 			}
-			vertex, err := kernels.Run(kernels.KindVertexDMA, cfg, g, k)
+			vertex, err := runKernel(ctx, fmt.Sprintf("ext-vertexpar vertex c=%d K=%d", c, k), kernels.KindVertexDMA, cfg, g, k)
 			if err != nil {
 				return nil, err
 			}
@@ -271,6 +273,7 @@ func runExtVertexPar(ctx context.Context, o Options) (*Report, error) {
 	}
 	r.Add("products-shaped (skewed) graph", tb.String())
 	r.Note("edge-parallel wins on skewed graphs because equal edge ranges balance load; the barrier column shows vertex-parallel threads idling behind hub rows (Section II-C/IV-B)")
+	attachProfile(ctx, r, mark)
 	return r, nil
 }
 
@@ -282,6 +285,7 @@ func runExtRandomWalk(ctx context.Context, o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	mark := obs.MarkFrom(ctx)
 	r := &Report{ID: "ext-randomwalk", Title: "Random-walk latency study"}
 	steps := 30
 	threads := []int{1, 2, 4, 8, 16}
@@ -297,13 +301,13 @@ func runExtRandomWalk(ctx context.Context, o Options) (*Report, error) {
 		cfg := piuma.DefaultConfig()
 		cfg.Cores = 4
 		cfg.ThreadsPerMTP = th
-		fast, err := kernels.RunRandomWalk(cfg, g, steps)
+		fast, err := runWalk(ctx, fmt.Sprintf("ext-randomwalk thr=%d lat=45ns", th), cfg, g, steps)
 		if err != nil {
 			return nil, err
 		}
 		slow := cfg
 		slow.DRAMLatency = 720 * sim.Nanosecond
-		lat, err := kernels.RunRandomWalk(slow, g, steps)
+		lat, err := runWalk(ctx, fmt.Sprintf("ext-randomwalk thr=%d lat=720ns", th), slow, g, steps)
 		if err != nil {
 			return nil, err
 		}
@@ -314,5 +318,6 @@ func runExtRandomWalk(ctx context.Context, o Options) (*Report, error) {
 	}
 	r.Add("Aggregate walk throughput on a 4-core system", tb.String())
 	r.Note("walk throughput comes from concurrent walkers hiding dependent-read latency — the property that makes PIUMA attractive for sampling-based GNN training (Section VI)")
+	attachProfile(ctx, r, mark)
 	return r, nil
 }

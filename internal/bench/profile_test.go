@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"piumagcn/internal/obs"
+)
+
+// A simulating experiment run with a profiler in ctx must register
+// labeled runs and attach the utilization section to its report.
+func TestSimExperimentAttachesProfileSection(t *testing.T) {
+	e, err := ByID("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := obs.NewProfiler(obs.ProfilerOptions{MaxSpans: -1})
+	ctx := obs.NewContext(context.Background(), p)
+	r, err := e.Run(ctx, QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var section string
+	for _, s := range r.Sections {
+		if strings.Contains(s.Heading, "Simulation profile") {
+			section = s.Body
+		}
+	}
+	if section == "" {
+		t.Fatalf("no profile section in report:\n%s", r.String())
+	}
+	if !strings.Contains(section, "fig7 thr=1 lat=45ns K=8") {
+		t.Fatalf("profile section missing labeled run:\n%s", section)
+	}
+	stats := p.Stats()
+	if len(stats) == 0 {
+		t.Fatal("profiler saw no runs")
+	}
+	for _, s := range stats {
+		if !strings.HasPrefix(s.Label, "fig7 ") {
+			t.Fatalf("unexpected run label %q", s.Label)
+		}
+		if s.Events == 0 {
+			t.Fatalf("run %q recorded no events", s.Label)
+		}
+	}
+}
+
+// Without a profiler in ctx the reports must be exactly as before —
+// no profile section, no behavioural change.
+func TestNoProfilerNoProfileSection(t *testing.T) {
+	e, err := ByID("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(context.Background(), QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Sections {
+		if strings.Contains(s.Heading, "Simulation profile") {
+			t.Fatalf("unexpected profile section:\n%s", s.Body)
+		}
+	}
+}
+
+// Profile tables cap at maxProfileRows with an explicit elision note.
+func TestProfileTableElisionNote(t *testing.T) {
+	p := obs.NewProfiler(obs.ProfilerOptions{MaxSpans: -1})
+	ctx := obs.NewContext(context.Background(), p)
+	mark := obs.MarkFrom(ctx)
+	for i := 0; i < maxProfileRows+3; i++ {
+		rt := p.StartRun("synthetic")
+		rt.Reserve("slice0", 0, 10)
+	}
+	r := &Report{ID: "x", Title: "x"}
+	attachProfile(ctx, r, mark)
+	if len(r.Sections) != 1 {
+		t.Fatalf("sections = %d", len(r.Sections))
+	}
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "first 16 of 19") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing elision note: %v", r.Notes)
+	}
+}

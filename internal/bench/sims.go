@@ -7,6 +7,7 @@ import (
 
 	"piumagcn/internal/amodel"
 	"piumagcn/internal/graph"
+	"piumagcn/internal/obs"
 	"piumagcn/internal/ogb"
 	"piumagcn/internal/piuma"
 	"piumagcn/internal/piuma/kernels"
@@ -110,6 +111,7 @@ func runFig5(ctx context.Context, o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	mark := obs.MarkFrom(ctx)
 	r := &Report{ID: "fig5", Title: "SpMM kernels vs the bandwidth-bound model"}
 	dims := []int{256}
 	if !o.Quick {
@@ -131,11 +133,11 @@ func runFig5(ctx context.Context, o Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			dma, err := kernels.Run(kernels.KindDMA, cfg, g, k)
+			dma, err := runKernel(ctx, fmt.Sprintf("fig5 dma c=%d K=%d", c, k), kernels.KindDMA, cfg, g, k)
 			if err != nil {
 				return nil, err
 			}
-			lu, err := kernels.Run(kernels.KindLoopUnrolled, cfg, g, k)
+			lu, err := runKernel(ctx, fmt.Sprintf("fig5 loop c=%d K=%d", c, k), kernels.KindLoopUnrolled, cfg, g, k)
 			if err != nil {
 				return nil, err
 			}
@@ -161,6 +163,7 @@ func runFig5(ctx context.Context, o Options) (*Report, error) {
 			}, 12))
 	}
 	r.Note("paper: DMA within 10-20%% of the model at all core counts; loop-unrolled under 40%% past 8 cores")
+	attachProfile(ctx, r, mark)
 	return r, nil
 }
 
@@ -172,6 +175,7 @@ func runFig6(ctx context.Context, o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	mark := obs.MarkFrom(ctx)
 	r := &Report{ID: "fig6", Title: "DRAM bandwidth and latency sensitivity"}
 	coreSet := []int{2, 4, 8}
 	dims := []int{8, 256}
@@ -197,7 +201,7 @@ func runFig6(ctx context.Context, o Options) (*Report, error) {
 				cfg := piuma.DefaultConfig()
 				cfg.Cores = c
 				cfg.SliceBandwidth *= m
-				res, err := kernels.Run(kernels.KindDMA, cfg, g, k)
+				res, err := runKernel(ctx, fmt.Sprintf("fig6 bw x%g c=%d K=%d", m, c, k), kernels.KindDMA, cfg, g, k)
 				if err != nil {
 					return nil, err
 				}
@@ -219,7 +223,7 @@ func runFig6(ctx context.Context, o Options) (*Report, error) {
 				cfg := piuma.DefaultConfig()
 				cfg.Cores = c
 				cfg.DRAMLatency = sim.Time(l) * sim.Nanosecond
-				res, err := kernels.Run(kernels.KindDMA, cfg, g, k)
+				res, err := runKernel(ctx, fmt.Sprintf("fig6 lat=%dns c=%d K=%d", l, c, k), kernels.KindDMA, cfg, g, k)
 				if err != nil {
 					return nil, err
 				}
@@ -230,6 +234,7 @@ func runFig6(ctx context.Context, o Options) (*Report, error) {
 	}
 	r.Add("Bottom: GFLOPS vs DRAM latency (16 threads/MTP)", latTb.String())
 	r.Note("paper: linear in bandwidth; latency-insensitive up to 360 ns (and beyond with 16 threads/MTP)")
+	attachProfile(ctx, r, mark)
 	return r, nil
 }
 
@@ -249,6 +254,7 @@ func runFig7(ctx context.Context, o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	mark := obs.MarkFrom(ctx)
 	r := &Report{ID: "fig7", Title: "Threads-per-MTP latency tolerance (8-core die)"}
 	threads := []int{1, 2, 4, 8, 16}
 	lats := []int{45, 90, 180, 360, 720}
@@ -268,7 +274,7 @@ func runFig7(ctx context.Context, o Options) (*Report, error) {
 				cfg.Cores = 8
 				cfg.ThreadsPerMTP = th
 				cfg.DRAMLatency = sim.Time(l) * sim.Nanosecond
-				res, err := kernels.Run(kernels.KindDMA, cfg, g, k)
+				res, err := runKernel(ctx, fmt.Sprintf("fig7 thr=%d lat=%dns K=%d", th, l, k), kernels.KindDMA, cfg, g, k)
 				if err != nil {
 					return nil, err
 				}
@@ -289,7 +295,7 @@ func runFig7(ctx context.Context, o Options) (*Report, error) {
 		cfg := piuma.DefaultConfig()
 		cfg.Cores = 8
 		cfg.ThreadsPerMTP = th
-		res, err := kernels.Run(kernels.KindDMA, cfg, g, 8)
+		res, err := runKernel(ctx, fmt.Sprintf("fig7 breakdown thr=%d K=8", th), kernels.KindDMA, cfg, g, 8)
 		if err != nil {
 			return nil, err
 		}
@@ -305,6 +311,7 @@ func runFig7(ctx context.Context, o Options) (*Report, error) {
 	}
 	r.Add("Execution-time breakdown, K=8", textplot.StackedBars(rows, segs, 50))
 	r.Note("paper: latency tolerance is lost at 1 thread/MTP for K=8 (NNZ reads on the critical path) and retained for K=256")
+	attachProfile(ctx, r, mark)
 	return r, nil
 }
 
@@ -316,6 +323,7 @@ func runFig8(ctx context.Context, o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	mark := obs.MarkFrom(ctx)
 	r := &Report{ID: "fig8", Title: "PIUMA vs Xeon: bandwidth, SpMM scaling, breakdown"}
 
 	// Left: system bandwidth comparison.
@@ -344,7 +352,7 @@ func runFig8(ctx context.Context, o Options) (*Report, error) {
 		}
 		cfg := piuma.DefaultConfig()
 		cfg.Cores = c
-		res, err := kernels.Run(kernels.KindDMA, cfg, g, k)
+		res, err := runKernel(ctx, fmt.Sprintf("fig8 dma c=%d K=%d", c, k), kernels.KindDMA, cfg, g, k)
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +372,7 @@ func runFig8(ctx context.Context, o Options) (*Report, error) {
 		}
 		cfg := piuma.DefaultConfig()
 		cfg.Cores = 16
-		res, err := kernels.Run(kernels.KindDMA, cfg, g, kk)
+		res, err := runKernel(ctx, fmt.Sprintf("fig8 breakdown c=16 K=%d", kk), kernels.KindDMA, cfg, g, kk)
 		if err != nil {
 			return nil, err
 		}
@@ -383,5 +391,6 @@ func runFig8(ctx context.Context, o Options) (*Report, error) {
 	r.Note("NNZ-read share falls with K: %.1f%% at K=8 vs %.1f%% at K=256 (paper: same trend)",
 		100*nnzShares[8], 100*nnzShares[256])
 	r.Note("paper: Xeon bandwidth peaks at 80 physical cores and degrades with hyper-threading; PIUMA crosses it near 16 cores")
+	attachProfile(ctx, r, mark)
 	return r, nil
 }

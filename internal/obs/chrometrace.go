@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"piumagcn/internal/sim"
+)
+
+// WriteChromeTrace exports every recorded run as a Chrome trace_event
+// JSON document (the JSON Array Format wrapped in an object), loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Layout: wall-clock host spans (bench experiments) appear as process
+// "piumabench" (pid 1); each simulated run is its own process (pid 2+)
+// named by its run label, with one thread per component track. Server
+// reservations are complete ("X") events — a FIFO timeline never
+// overlaps — while typed spans (thread phases, network flight time) are
+// async ("b"/"e") pairs, which tolerate overlap within a track.
+// Timestamps are microseconds: simulated picoseconds render exactly
+// with six decimals, so identical simulations export byte-identical
+// traces (the determinism the engine promises, locked in by tests).
+func (p *Profiler) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString("\n")
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	const hostPID = 1
+	if len(p.host) > 0 {
+		emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"piumabench"}}`, hostPID)
+		emit(`{"ph":"M","pid":%d,"tid":1,"name":"thread_name","args":{"name":"experiments"}}`, hostPID)
+		for _, h := range p.host {
+			emit(`{"ph":"X","pid":%d,"tid":1,"ts":%s,"dur":%s,"name":%s,"cat":"experiment"}`,
+				hostPID, usFromDuration(h.start), usFromDuration(h.dur), strconv.Quote(h.name))
+		}
+	}
+
+	asyncID := 0
+	for i, rt := range p.runs {
+		pid := hostPID + 1 + i
+		emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`, pid, strconv.Quote(rt.label))
+		tids := make(map[*component]int, len(rt.comps))
+		for j, c := range rt.comps {
+			tid := j + 1
+			tids[c] = tid
+			emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				pid, tid, strconv.Quote(c.name))
+		}
+		for _, s := range rt.spans {
+			tid := tids[s.comp]
+			if !s.async {
+				emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%s,"cat":%s}`,
+					pid, tid, usFromPS(s.start), usFromPS(s.end-s.start),
+					strconv.Quote(s.name), strconv.Quote(s.comp.class))
+				continue
+			}
+			asyncID++
+			args := fmt.Sprintf(`"cat":%s,"id":"%d","pid":%d,"tid":%d,"name":%s`,
+				strconv.Quote(s.comp.class), asyncID, pid, tid, strconv.Quote(s.name))
+			emit(`{"ph":"b",%s,"ts":%s}`, args, usFromPS(s.start))
+			emit(`{"ph":"e",%s,"ts":%s}`, args, usFromPS(s.end))
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// usFromPS renders simulated picoseconds as decimal microseconds with
+// full (exact) precision — deterministic, no float formatting.
+func usFromPS(t sim.Time) string {
+	ps := int64(t)
+	return fmt.Sprintf("%d.%06d", ps/1_000_000, ps%1_000_000)
+}
+
+// usFromDuration renders a wall-clock duration as decimal microseconds.
+func usFromDuration(d time.Duration) string {
+	ns := d.Nanoseconds()
+	return fmt.Sprintf("%d.%03d", ns/1_000, ns%1_000)
+}

@@ -1,0 +1,26 @@
+package obs
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the profiler. Bench experiment
+// runners pull it back out with FromContext to attach their simulated
+// runs, so profiling plumbs through existing Run(ctx, opts) signatures
+// without widening them.
+func NewContext(ctx context.Context, p *Profiler) context.Context {
+	return context.WithValue(ctx, ctxKey{}, p)
+}
+
+// FromContext returns the profiler carried by ctx, or nil.
+func FromContext(ctx context.Context) *Profiler {
+	p, _ := ctx.Value(ctxKey{}).(*Profiler)
+	return p
+}
+
+// MarkFrom returns the current mark of the profiler carried by ctx (0
+// when none): the bracket experiment runners use to scope their
+// profile section to their own runs.
+func MarkFrom(ctx context.Context) Mark {
+	return FromContext(ctx).Mark()
+}

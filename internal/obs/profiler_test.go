@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"piumagcn/internal/sim"
+)
+
+// driveRun simulates a tiny two-component machine against rt: a DRAM
+// slice server and an MTP issue server, one process, plus explicit
+// thread/network spans — enough activity to exercise every Tracer
+// callback deterministically.
+func driveRun(t *testing.T, rt *RunTrace) sim.Time {
+	t.Helper()
+	e := sim.NewEngine()
+	e.SetTracer(rt)
+	slice := &sim.Server{Name: "slice0"}
+	slice.SetTracer(rt)
+	mtp := &sim.Server{Name: "mtp0"}
+	mtp.SetTracer(rt)
+	e.Spawn("t0", func(p *sim.Proc) {
+		t0 := p.Now()
+		_, end := slice.Reserve(p.Now(), 40*sim.Nanosecond)
+		p.SleepUntil(end)
+		rt.Span(p.Name, "startup", t0, p.Now())
+		_, end = mtp.Reserve(p.Now(), 10*sim.Nanosecond)
+		rt.Span("net0", "remote-read", end, end+5*sim.Nanosecond)
+		p.SleepUntil(end + 5*sim.Nanosecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e.Now()
+}
+
+func TestProfilerAggregatesComponents(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{})
+	rt := p.StartRun("tiny")
+	driveRun(t, rt)
+
+	stats := p.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("runs = %d", len(stats))
+	}
+	s := stats[0]
+	if s.Label != "tiny" || s.Events == 0 || s.Elapsed == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	slice, ok := s.Class("dram-slice")
+	if !ok || slice.Busy != 40*sim.Nanosecond || slice.Components != 1 || slice.Count != 1 {
+		t.Fatalf("dram-slice = %+v (ok=%v)", slice, ok)
+	}
+	core, ok := s.Class("core")
+	if !ok || core.Busy != 10*sim.Nanosecond {
+		t.Fatalf("core = %+v (ok=%v)", core, ok)
+	}
+	net, ok := s.Class("network")
+	if !ok || net.Busy != 5*sim.Nanosecond {
+		t.Fatalf("network = %+v (ok=%v)", net, ok)
+	}
+	thread, ok := s.Class("thread")
+	if !ok || thread.Busy != 40*sim.Nanosecond {
+		t.Fatalf("thread = %+v (ok=%v)", thread, ok)
+	}
+	if slice.Utilization <= 0 || slice.Utilization > 1 {
+		t.Fatalf("slice utilization = %g", slice.Utilization)
+	}
+	if slice.MaxUtilization != slice.Utilization {
+		t.Fatalf("single component: max %g != mean %g", slice.MaxUtilization, slice.Utilization)
+	}
+}
+
+func TestMarkScopesStats(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{})
+	driveRun(t, p.StartRun("first"))
+	m := p.Mark()
+	driveRun(t, p.StartRun("second"))
+	since := p.StatsSince(m)
+	if len(since) != 1 || since[0].Label != "second" {
+		t.Fatalf("since = %+v", since)
+	}
+	if n := len(p.Stats()); n != 2 {
+		t.Fatalf("all = %d", n)
+	}
+}
+
+func TestNilProfilerIsSafe(t *testing.T) {
+	var p *Profiler
+	if p.Mark() != 0 {
+		t.Fatal("nil mark")
+	}
+	if p.Stats() != nil || p.StatsSince(0) != nil {
+		t.Fatal("nil stats")
+	}
+	if !strings.Contains(p.SummarySince(0), "runs=0") {
+		t.Fatal("nil summary")
+	}
+}
+
+func TestMaxSpansCapsRetentionNotAggregation(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{MaxSpans: 2})
+	rt := p.StartRun("capped")
+	for i := 0; i < 5; i++ {
+		rt.Reserve("slice0", sim.Time(i*10), sim.Time(i*10+5))
+	}
+	s := p.Stats()[0]
+	if s.Spans != 2 || s.DroppedSpans != 3 {
+		t.Fatalf("spans=%d dropped=%d", s.Spans, s.DroppedSpans)
+	}
+	slice, _ := s.Class("dram-slice")
+	if slice.Count != 5 || slice.Busy != 25 {
+		t.Fatalf("aggregation truncated: %+v", slice)
+	}
+}
+
+func TestAggregationOnlyMode(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{MaxSpans: -1})
+	rt := p.StartRun("svc")
+	driveRun(t, rt)
+	s := p.Stats()[0]
+	if s.Spans != 0 || s.DroppedSpans != 0 {
+		t.Fatalf("aggregation-only run kept spans: %+v", s)
+	}
+	if _, ok := s.Class("dram-slice"); !ok {
+		t.Fatal("aggregates missing")
+	}
+	prof := p.Profile()
+	if len(prof.Runs) != 1 {
+		t.Fatalf("profile runs = %d", len(prof.Runs))
+	}
+}
+
+func TestEmptyProfileHasNonNilRuns(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{})
+	if prof := p.Profile(); prof.Runs == nil || len(prof.Runs) != 0 {
+		t.Fatalf("empty profile = %+v", prof)
+	}
+}
+
+func TestSummaryCountsRunsAndEvents(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{BucketWidth: sim.Nanosecond})
+	driveRun(t, p.StartRun("a"))
+	driveRun(t, p.StartRun("b"))
+	s := p.Summary()
+	if !strings.Contains(s, "runs=2") || !strings.Contains(s, "spawns=2") || !strings.Contains(s, "finishes=2") {
+		t.Fatalf("summary:\n%s", s)
+	}
+	// Per-run sparklines, labeled.
+	if !strings.Contains(s, "a ") || !strings.Contains(s, "|") {
+		t.Fatalf("summary missing sparkline:\n%s", s)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := map[string]string{
+		"slice7":  "dram-slice",
+		"mtp12":   "core",
+		"dma3":    "dma",
+		"dmaq1":   "dma",
+		"net0":    "network",
+		"t42":     "thread",
+		"walker3": "thread",
+		"misc":    "other",
+	}
+	for track, want := range cases {
+		if got := classFor(track); got != want {
+			t.Errorf("classFor(%q) = %q, want %q", track, got, want)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package obs is the observability layer shared by the whole stack: a
+// dependency-free metrics registry rendered in Prometheus text
+// exposition format (the single sink for both real service counters and
+// simulated-machine counters), and a simulation profiler that turns
+// sim.Tracer callbacks into per-component utilization breakdowns and
+// Chrome trace_event exports loadable in Perfetto.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a metric sink rendered in Prometheus text exposition
+// format. Families render in registration order; series within a family
+// render sorted by label values, so output is deterministic. All
+// methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+type familyKind int
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric: either a single unlabeled series or a set
+// of labeled series created on demand.
+type family struct {
+	reg    *Registry
+	name   string
+	help   string
+	kind   familyKind
+	labels []string
+	bounds []float64 // histogram bucket upper bounds
+
+	scalar *series
+	series map[string]*series
+}
+
+// series holds one time series' state, guarded by the registry mutex.
+type series struct {
+	labelVals []string
+	val       float64
+	// Histogram state.
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    float64
+	n      uint64
+}
+
+func (r *Registry) register(name, help string, kind familyKind, labels []string, bounds []float64) *family {
+	if name == "" {
+		panic("obs: metric name must not be empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	f := &family{reg: r, name: name, help: help, kind: kind, labels: labels, bounds: bounds}
+	if len(labels) == 0 {
+		f.scalar = &series{}
+		if kind == kindHistogram {
+			f.scalar.counts = make([]uint64, len(bounds)+1)
+		}
+	} else {
+		f.series = make(map[string]*series)
+	}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	return f
+}
+
+// with returns (creating on demand) the series for the label values.
+func (f *family) with(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label value(s), got %d", f.name, len(f.labels), len(values)))
+	}
+	if f.scalar != nil {
+		return f.scalar
+	}
+	key := strings.Join(values, "\x00")
+	f.reg.mu.Lock()
+	defer f.reg.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelVals: append([]string(nil), values...)}
+		if f.kind == kindHistogram {
+			s.counts = make([]uint64, len(f.bounds)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	f *family
+	s *series
+}
+
+// Counter registers (or panics on a duplicate name) an unlabeled
+// counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil)
+	return &Counter{f: f, s: f.scalar}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v (panics if v is negative).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("obs: counter decrease")
+	}
+	c.f.reg.mu.Lock()
+	c.s.val += v
+	c.f.reg.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.f.reg.mu.Lock()
+	defer c.f.reg.mu.Unlock()
+	return c.s.val
+}
+
+// CounterVec is a counter family with labels; series appear in the
+// exposition once touched via With.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("obs: CounterVec needs at least one label")
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	return &Counter{f: v.f, s: v.f.with(values)}
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	f *family
+	s *series
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil)
+	return &Gauge{f: f, s: f.scalar}
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.f.reg.mu.Lock()
+	g.s.val = v
+	g.f.reg.mu.Unlock()
+}
+
+// Add shifts the gauge by v (negative allowed).
+func (g *Gauge) Add(v float64) {
+	g.f.reg.mu.Lock()
+	g.s.val += v
+	g.f.reg.mu.Unlock()
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	g.f.reg.mu.Lock()
+	defer g.f.reg.mu.Unlock()
+	return g.s.val
+}
+
+// Histogram is one fixed-bucket histogram series.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// HistogramVec is a labeled histogram family with fixed bucket bounds.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family. bounds are the
+// bucket upper bounds in increasing order; a +Inf bucket is implicit.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("obs: HistogramVec needs at least one label")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be sorted")
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, append([]float64(nil), bounds...))}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{f: v.f, s: v.f.with(values)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.f.bounds, v)
+	h.f.reg.mu.Lock()
+	h.s.counts[i]++
+	h.s.sum += v
+	h.s.n++
+	h.f.reg.mu.Unlock()
+}
+
+// Render writes the Prometheus text exposition of every registered
+// family in registration order.
+func (r *Registry) Render(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.fams {
+		f.renderLocked(w)
+	}
+}
+
+func (f *family) renderLocked(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+	if f.scalar != nil {
+		f.renderSeries(w, f.scalar)
+		return
+	}
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f.renderSeries(w, f.series[k])
+	}
+}
+
+func (f *family) renderSeries(w io.Writer, s *series) {
+	if f.kind != kindHistogram {
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.labelVals, ""), formatValue(s.val))
+		return
+	}
+	cum := uint64(0)
+	for i, bound := range f.bounds {
+		cum += s.counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.labelVals, formatValue(bound)), cum)
+	}
+	cum += s.counts[len(f.bounds)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.labelVals, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, s.labelVals, ""), formatValue(s.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, s.labelVals, ""), s.n)
+}
+
+// labelString renders `{a="x",b="y"}` (with an optional trailing le
+// bucket bound), or "" for an unlabeled series with no bound.
+func labelString(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(values[i]))
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders integral values without an exponent or decimal
+// point (matching %d for counts) and everything else like %g.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

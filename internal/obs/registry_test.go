@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+func TestCounterRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs processed.")
+	c.Inc()
+	c.Add(2)
+	want := "# HELP jobs_total Jobs processed.\n# TYPE jobs_total counter\njobs_total 3\n"
+	if got := render(r); got != want {
+		t.Fatalf("render:\n%q\nwant:\n%q", got, want)
+	}
+	if c.Value() != 3 {
+		t.Fatalf("value = %g", c.Value())
+	}
+}
+
+func TestCounterVecRendersSortedSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("rejected_total", "Rejections by reason.", "reason")
+	v.With("zebra").Inc()
+	v.With("alpha").Add(2)
+	v.With("alpha").Inc() // same series
+	want := "# HELP rejected_total Rejections by reason.\n" +
+		"# TYPE rejected_total counter\n" +
+		"rejected_total{reason=\"alpha\"} 3\n" +
+		"rejected_total{reason=\"zebra\"} 1\n"
+	if got := render(r); got != want {
+		t.Fatalf("render:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestEmptyVecRendersHeaderOnly(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("rejected_total", "Rejections.", "reason")
+	want := "# HELP rejected_total Rejections.\n# TYPE rejected_total counter\n"
+	if got := render(r); got != want {
+		t.Fatalf("render:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth", "Waiting runs.")
+	g.Set(4)
+	g.Add(-1)
+	want := "# HELP queue_depth Waiting runs.\n# TYPE queue_depth gauge\nqueue_depth 3\n"
+	if got := render(r); got != want {
+		t.Fatalf("render:\n%q\nwant:\n%q", got, want)
+	}
+	g.Set(0.5)
+	if got := render(r); !strings.Contains(got, "queue_depth 0.5\n") {
+		t.Fatalf("fractional gauge: %q", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("run_seconds", "Run duration.", []float64{0.001, 0.1, 25}, "experiment")
+	h.With("fig5").Observe(0.05)
+	h.With("fig5").Observe(0.0005)
+	h.With("fig5").Observe(100)
+	want := "# HELP run_seconds Run duration.\n" +
+		"# TYPE run_seconds histogram\n" +
+		"run_seconds_bucket{experiment=\"fig5\",le=\"0.001\"} 1\n" +
+		"run_seconds_bucket{experiment=\"fig5\",le=\"0.1\"} 2\n" +
+		"run_seconds_bucket{experiment=\"fig5\",le=\"25\"} 2\n" +
+		"run_seconds_bucket{experiment=\"fig5\",le=\"+Inf\"} 3\n" +
+		"run_seconds_sum{experiment=\"fig5\"} 100.0505\n" +
+		"run_seconds_count{experiment=\"fig5\"} 3\n"
+	if got := render(r); got != want {
+		t.Fatalf("render:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestFamiliesRenderInRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b")
+	r.Gauge("a_gauge", "a")
+	r.Counter("c_total", "c")
+	got := render(r)
+	ib, ia, ic := strings.Index(got, "b_total"), strings.Index(got, "a_gauge"), strings.Index(got, "c_total")
+	if !(ib < ia && ia < ic) {
+		t.Fatalf("registration order not preserved:\n%s", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r.Gauge("x_total", "again")
+}
+
+func TestWrongLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("x_total", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity should panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestCounterDecreasePanics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add should panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+// TestConcurrentUpdates exercises the registry under the race detector.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "n")
+	v := r.CounterVec("l_total", "l", "k")
+	h := r.HistogramVec("h_seconds", "h", []float64{1, 10}, "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+				v.With("a").Inc()
+				h.With("a").Observe(float64(j % 20))
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); wg.Wait() }()
+	for {
+		select {
+		case <-done:
+			if c.Value() != 800 {
+				t.Fatalf("count = %g", c.Value())
+			}
+			if !strings.Contains(render(r), "l_total{k=\"a\"} 800\n") {
+				t.Fatalf("vec total wrong:\n%s", render(r))
+			}
+			return
+		default:
+			render(r) // concurrent reads must be safe too
+		}
+	}
+}

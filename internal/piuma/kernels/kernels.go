@@ -102,6 +102,14 @@ type Result struct {
 // machine cfg. Only the structure of a is consulted (timing depends on
 // the access pattern, not the values).
 func Run(kind Kind, cfg piuma.Config, a *graph.CSR, k int) (Result, error) {
+	return RunTraced(kind, cfg, a, k, nil)
+}
+
+// RunTraced is Run with a tracer observing the simulation: engine
+// events, component reservations (slices, MTPs, DMA engines), network
+// flight spans, and per-thread phase spans all flow to tr. Tracing
+// never changes timing; a nil tr is exactly Run.
+func RunTraced(kind Kind, cfg piuma.Config, a *graph.CSR, k int, tr sim.Tracer) (Result, error) {
 	switch kind {
 	case KindLoopUnrolled, KindDMA, KindVertexDMA:
 	default:
@@ -117,7 +125,10 @@ func Run(kind Kind, cfg piuma.Config, a *graph.CSR, k int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	r := &runner{kind: kind, m: m, a: a, k: k}
+	if tr != nil {
+		m.SetTracer(tr)
+	}
+	r := &runner{kind: kind, m: m, a: a, k: k, tr: tr}
 	r.launch()
 	if err := m.Eng.Run(); err != nil {
 		return Result{}, fmt.Errorf("kernels: simulation failed: %w", err)
@@ -153,6 +164,7 @@ type runner struct {
 	m      *piuma.Machine
 	a      *graph.CSR
 	k      int
+	tr     sim.Tracer
 	bd     Breakdown
 	finish sim.Time
 	// nnzLatency/nnzReads accumulate observed blocking-read latencies.
@@ -224,6 +236,9 @@ func (r *runner) launch() {
 			arrive := p.Now()
 			done.Wait(p)
 			r.bd.Barrier += p.Now() - arrive
+			if r.tr != nil && p.Now() > arrive {
+				r.tr.Span(p.Name, "barrier", arrive, p.Now())
+			}
 			if p.Now() > r.finish {
 				r.finish = p.Now()
 			}
@@ -255,6 +270,9 @@ func (r *runner) threadBody(p *sim.Proc, core, mtp, row int, start, end int64) {
 		r.blockingRead(p, core, int64(u), r.burst(8))
 	}
 	r.bd.Startup += p.Now() - t0
+	if r.tr != nil {
+		r.tr.Span(p.Name, "startup", t0, p.Now())
+	}
 
 	switch r.kind {
 	case KindLoopUnrolled:

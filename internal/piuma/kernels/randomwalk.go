@@ -37,6 +37,12 @@ type WalkResult struct {
 // thread of the machine over graph a. Walk targets are chosen with a
 // deterministic per-walker RNG so runs are reproducible.
 func RunRandomWalk(cfg piuma.Config, a *graph.CSR, steps int) (WalkResult, error) {
+	return RunRandomWalkTraced(cfg, a, steps, nil)
+}
+
+// RunRandomWalkTraced is RunRandomWalk with a tracer observing the
+// simulation (see RunTraced). A nil tr is exactly RunRandomWalk.
+func RunRandomWalkTraced(cfg piuma.Config, a *graph.CSR, steps int, tr sim.Tracer) (WalkResult, error) {
 	if steps <= 0 {
 		return WalkResult{}, fmt.Errorf("kernels: steps must be positive, got %d", steps)
 	}
@@ -49,6 +55,9 @@ func RunRandomWalk(cfg piuma.Config, a *graph.CSR, steps int) (WalkResult, error
 	m, err := piuma.NewMachine(cfg)
 	if err != nil {
 		return WalkResult{}, err
+	}
+	if tr != nil {
+		m.SetTracer(tr)
 	}
 	walkers := cfg.WorkerThreads()
 	res := WalkResult{Cfg: cfg, Walkers: walkers, Steps: steps}

@@ -1,0 +1,141 @@
+package kernels
+
+import (
+	"bytes"
+	"testing"
+
+	"piumagcn/internal/obs"
+	"piumagcn/internal/piuma"
+)
+
+// RunTraced must observe the simulation, never perturb it: the traced
+// result has to be bit-identical to the untraced one.
+func TestRunTracedMatchesRun(t *testing.T) {
+	g, _ := testGraphs(t)
+	cfg := piuma.DefaultConfig()
+	cfg.Cores = 4
+	for _, kind := range []Kind{KindDMA, KindLoopUnrolled, KindVertexDMA} {
+		plain := mustRun(t, kind, cfg, g, 64)
+		p := obs.NewProfiler(obs.ProfilerOptions{})
+		traced, err := RunTraced(kind, cfg, g, 64, p.StartRun(string(kind)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traced != plain {
+			t.Fatalf("%s: tracing changed the simulation:\ntraced: %+v\nplain:  %+v", kind, traced, plain)
+		}
+	}
+}
+
+func TestRandomWalkTracedMatchesUntraced(t *testing.T) {
+	g, _ := testGraphs(t)
+	cfg := piuma.DefaultConfig()
+	cfg.Cores = 2
+	plain, err := RunRandomWalk(cfg, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := obs.NewProfiler(obs.ProfilerOptions{})
+	traced, err := RunRandomWalkTraced(cfg, g, 4, p.StartRun("walk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced != plain {
+		t.Fatalf("tracing changed the walk:\ntraced: %+v\nplain:  %+v", traced, plain)
+	}
+	s := p.Stats()[0]
+	if _, ok := s.Class("dram-slice"); !ok {
+		t.Fatalf("walk profile missing slice activity: %+v", s)
+	}
+}
+
+// The profiler's per-class busy accounting must agree exactly with the
+// engine's own: dram-slice busy time × slice bandwidth is the machine's
+// DeliveredBytes, and every component class the machine has must appear.
+func TestProfilerBusyMatchesDelivered(t *testing.T) {
+	g, _ := testGraphs(t)
+	cfg := piuma.DefaultConfig()
+	cfg.Cores = 4
+	p := obs.NewProfiler(obs.ProfilerOptions{MaxSpans: -1})
+	res, err := RunTraced(KindDMA, cfg, g, 64, p.StartRun("dma"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()[0]
+	if s.Events != res.Events {
+		t.Fatalf("profiler events %d != result events %d", s.Events, res.Events)
+	}
+	// Result.Elapsed extends past the last engine event by the final
+	// DMA completion latency (kernel bookkeeping, not simulated
+	// activity), so the profiler sees at most that much.
+	if s.Elapsed <= 0 || s.Elapsed > res.Elapsed {
+		t.Fatalf("profiler elapsed %v outside (0, %v]", s.Elapsed, res.Elapsed)
+	}
+	slice, ok := s.Class("dram-slice")
+	if !ok {
+		t.Fatal("no dram-slice class")
+	}
+	if got := slice.Busy.Seconds() * cfg.SliceBandwidth; got != res.DeliveredBytes {
+		t.Fatalf("slice busy × bandwidth = %g bytes, engine says %g", got, res.DeliveredBytes)
+	}
+	if slice.Components != cfg.Cores {
+		t.Fatalf("slice components = %d, want %d", slice.Components, cfg.Cores)
+	}
+	for _, class := range []string{"core", "dma", "network", "thread"} {
+		cs, ok := s.Class(class)
+		if !ok || cs.Busy <= 0 {
+			t.Fatalf("class %q missing or idle: %+v (ok=%v)", class, cs, ok)
+		}
+	}
+	// FIFO-served components (one reservation at a time) can never
+	// exceed a busy fraction of 1. Network and thread tracks hold
+	// overlapping async spans, where "utilization" is mean concurrency
+	// and may legitimately exceed 1.
+	for _, class := range []string{"core", "dma", "dram-slice"} {
+		cs, _ := s.Class(class)
+		if cs.Utilization < 0 || cs.MaxUtilization > 1.0000001 {
+			t.Fatalf("class %q utilization out of range: %+v", class, cs)
+		}
+	}
+}
+
+// The engine promises identical event traces for identical runs; the
+// exported Chrome trace must therefore be byte-identical too.
+func TestTraceDeterminism(t *testing.T) {
+	g, _ := testGraphs(t)
+	cfg := piuma.DefaultConfig()
+	cfg.Cores = 4
+	export := func() []byte {
+		p := obs.NewProfiler(obs.ProfilerOptions{})
+		if _, err := RunTraced(KindDMA, cfg, g, 8, p.StartRun("dma c=4 K=8")); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := p.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical simulations exported different traces (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// BenchmarkDMAKernelTraced measures the overhead of full span retention
+// against BenchmarkDMAKernel above.
+func BenchmarkDMAKernelTraced(b *testing.B) {
+	g, _ := testGraphs(b)
+	cfg := piuma.DefaultConfig()
+	cfg.Cores = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := obs.NewProfiler(obs.ProfilerOptions{})
+		if _, err := RunTraced(KindDMA, cfg, g, 64, p.StartRun("dma")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -21,6 +21,14 @@ type Machine struct {
 	MTPs []*sim.Server
 	// DMAs[i] is core i's DMA offload engine.
 	DMAs []*DMAEngine
+
+	// tracer, when set, observes component activity: server reservations
+	// flow through each Server's own tracer hook, and the machine itself
+	// emits network-flight spans for remote reads. netTracks holds the
+	// per-core track names ("net0", "net1", ...) precomputed so the
+	// traced hot path allocates nothing.
+	tracer    sim.Tracer
+	netTracks []string
 }
 
 // DMAEngine models the per-core offload engine of Section IV-B: a FIFO
@@ -56,6 +64,31 @@ func NewMachine(cfg Config) (*Machine, error) {
 		}
 	}
 	return m, nil
+}
+
+// SetTracer attaches tr to the simulation engine and to every component
+// server (DRAM slices, MTP issue pipelines, DMA engines), and enables
+// network-flight span emission for remote reads. Pass nil to detach.
+// Tracing changes no timing: spans are recorded at the times the
+// untraced simulation would produce anyway.
+func (m *Machine) SetTracer(tr sim.Tracer) {
+	m.tracer = tr
+	m.Eng.SetTracer(tr)
+	for _, s := range m.Slices {
+		s.SetTracer(tr)
+	}
+	for _, s := range m.MTPs {
+		s.SetTracer(tr)
+	}
+	for _, d := range m.DMAs {
+		d.Server.SetTracer(tr)
+	}
+	if tr != nil && m.netTracks == nil {
+		m.netTracks = make([]string, m.Cfg.Cores)
+		for i := range m.netTracks {
+			m.netTracks[i] = fmt.Sprintf("net%d", i)
+		}
+	}
 }
 
 // AccessLatency returns the load-to-use latency for core `from`
@@ -135,7 +168,13 @@ func (m *Machine) ReadBlocking(now sim.Time, core int, homeBlock int64, bytes in
 // ReadBlockingAt is ReadBlocking with an explicitly chosen home core.
 func (m *Machine) ReadBlockingAt(now sim.Time, core, home int, bytes int64) sim.Time {
 	_, end := m.Slices[home].Reserve(now, m.Cfg.TransferTime(bytes))
-	return end + m.AccessLatency(core, home)
+	comp := end + m.AccessLatency(core, home)
+	if m.tracer != nil && core != home {
+		// Network flight: the interval between the data leaving the
+		// remote slice bus and arriving at the requesting core.
+		m.tracer.Span(m.netTracks[core], "remote-read", end, comp)
+	}
+	return comp
 }
 
 // WriteAsync models a fire-and-forget remote-atomic store: it consumes

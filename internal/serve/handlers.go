@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"piumagcn/internal/bench"
+	"piumagcn/internal/obs"
 )
 
 // Handler returns the service's HTTP API:
@@ -14,6 +15,7 @@ import (
 //	POST   /v1/runs          submit a run; ?wait=true blocks until done
 //	GET    /v1/runs          list known runs, newest first
 //	GET    /v1/runs/{id}     poll one run; ?wait=true blocks until done
+//	GET    /v1/runs/{id}/profile  per-component simulation profile (409 until done)
 //	DELETE /v1/runs/{id}     cancel a queued or running run
 //	GET    /healthz          liveness (503 while draining)
 //	GET    /metrics          Prometheus text exposition
@@ -23,6 +25,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("GET /v1/runs/{id}/profile", s.handleRunProfile)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancelRun)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -124,6 +127,26 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resourceFromView(v, false))
+}
+
+// handleRunProfile serves a done run's per-component simulation
+// profile. Runs that executed no event-level simulation (analytical
+// experiments) report an empty run list.
+func (s *Server) handleRunProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	p, status, ok := s.Profile(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run "+id)
+		return
+	}
+	if status != StatusDone {
+		writeError(w, http.StatusConflict, "run "+id+" is "+string(status)+", profile available once done")
+		return
+	}
+	if p == nil {
+		p = &obs.Profile{Runs: []obs.RunStats{}}
+	}
+	writeJSON(w, http.StatusOK, p)
 }
 
 func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {

@@ -1,36 +1,39 @@
 package serve
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"sync"
 	"time"
+
+	"piumagcn/internal/obs"
 )
 
-// metrics is a dependency-free Prometheus-style counter set: run
-// lifecycle counters, cache/dedup/rejection counters and a fixed-bucket
-// run-duration histogram per experiment. Rendered as text exposition
-// format by render (the /metrics endpoint).
+// metrics adapts the service's counters onto the shared obs.Registry:
+// run lifecycle counters, cache/dedup/rejection counters, a fixed-
+// bucket run-duration histogram per experiment, and the aggregated
+// simulated-machine counters harvested from completed runs' profiles.
+// Families are registered in the order the /metrics endpoint has always
+// rendered them, so the exposition output of the pre-registry
+// implementation is preserved byte for byte (locked in by a golden
+// test), with the simulation families appended after it.
 type metrics struct {
-	mu        sync.Mutex
-	submitted uint64
-	started   uint64
-	completed uint64
-	failed    uint64
-	canceled  uint64
-	cacheHits uint64
-	dedupHits uint64
-	evicted   uint64
-	rejected  map[string]uint64 // by reason: queue_full, draining
-	durations map[string]*histogram
-}
+	reg *obs.Registry
 
-func newMetrics() *metrics {
-	return &metrics{
-		rejected:  make(map[string]uint64),
-		durations: make(map[string]*histogram),
-	}
+	submitted *obs.Counter
+	started   *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	canceled  *obs.Counter
+	cacheHits *obs.Counter
+	dedupHits *obs.Counter
+	evicted   *obs.Counter
+	rejected  *obs.CounterVec
+
+	queueDepth *obs.Gauge
+	draining   *obs.Gauge
+	durations  *obs.HistogramVec
+
+	simEvents *obs.CounterVec
+	simBusy   *obs.CounterVec
 }
 
 // latencyBounds are the histogram bucket upper bounds in seconds.
@@ -38,96 +41,67 @@ func newMetrics() *metrics {
 // simulator sweeps reach into the minutes.
 var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 25, 100, 500}
 
-type histogram struct {
-	counts []uint64 // len(latencyBounds)+1; last is +Inf
-	sum    float64
-	n      uint64
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg:       reg,
+		submitted: reg.Counter("piumaserve_runs_submitted_total", "Runs accepted into the queue."),
+		started:   reg.Counter("piumaserve_runs_started_total", "Runs picked up by a worker."),
+		completed: reg.Counter("piumaserve_runs_completed_total", "Runs finished successfully."),
+		failed:    reg.Counter("piumaserve_runs_failed_total", "Runs that returned an error."),
+		canceled:  reg.Counter("piumaserve_runs_canceled_total", "Runs canceled or timed out."),
+		cacheHits: reg.Counter("piumaserve_cache_hits_total", "Submissions answered from the result cache."),
+		dedupHits: reg.Counter("piumaserve_dedup_hits_total", "Submissions collapsed onto an in-flight run."),
+		evicted:   reg.Counter("piumaserve_cache_evictions_total", "Cached results evicted by capacity."),
+		rejected:  reg.CounterVec("piumaserve_runs_rejected_total", "Submissions refused, by reason.", "reason"),
+
+		queueDepth: reg.Gauge("piumaserve_queue_depth", "Accepted runs waiting for a worker."),
+		draining:   reg.Gauge("piumaserve_draining", "Whether shutdown has begun."),
+		durations: reg.HistogramVec("piumaserve_run_duration_seconds", "Successful run duration by experiment.",
+			latencyBounds, "experiment"),
+
+		simEvents: reg.CounterVec("piumaserve_sim_events_total", "Simulation events processed, by experiment.", "experiment"),
+		simBusy:   reg.CounterVec("piumaserve_sim_busy_seconds_total", "Simulated component busy time, by component class.", "class"),
+	}
 }
 
-func (h *histogram) observe(seconds float64) {
-	i := sort.SearchFloat64s(latencyBounds, seconds)
-	h.counts[i]++
-	h.sum += seconds
-	h.n++
-}
+func (m *metrics) incSubmitted() { m.submitted.Inc() }
+func (m *metrics) incStarted()   { m.started.Inc() }
+func (m *metrics) incFailed()    { m.failed.Inc() }
+func (m *metrics) incCanceled()  { m.canceled.Inc() }
+func (m *metrics) incCacheHit()  { m.cacheHits.Inc() }
+func (m *metrics) incDedupHit()  { m.dedupHits.Inc() }
+func (m *metrics) incEvicted()   { m.evicted.Inc() }
 
-func (m *metrics) incSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
-func (m *metrics) incStarted()   { m.mu.Lock(); m.started++; m.mu.Unlock() }
-func (m *metrics) incFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
-func (m *metrics) incCanceled()  { m.mu.Lock(); m.canceled++; m.mu.Unlock() }
-func (m *metrics) incCacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
-func (m *metrics) incDedupHit()  { m.mu.Lock(); m.dedupHits++; m.mu.Unlock() }
-func (m *metrics) incEvicted()   { m.mu.Lock(); m.evicted++; m.mu.Unlock() }
-
-func (m *metrics) incRejected(reason string) {
-	m.mu.Lock()
-	m.rejected[reason]++
-	m.mu.Unlock()
-}
+func (m *metrics) incRejected(reason string) { m.rejected.With(reason).Inc() }
 
 func (m *metrics) observeCompleted(experimentID string, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.completed++
-	h, ok := m.durations[experimentID]
-	if !ok {
-		h = &histogram{counts: make([]uint64, len(latencyBounds)+1)}
-		m.durations[experimentID] = h
+	m.completed.Inc()
+	m.durations.With(experimentID).Observe(d.Seconds())
+}
+
+// recordProfile folds a completed run's simulation profile into the
+// aggregate sim counters.
+func (m *metrics) recordProfile(experimentID string, p *obs.Profile) {
+	if p == nil {
+		return
 	}
-	h.observe(d.Seconds())
+	for _, run := range p.Runs {
+		m.simEvents.With(experimentID).Add(float64(run.Events))
+		for _, c := range run.Classes {
+			m.simBusy.With(c.Class).Add(c.BusySeconds)
+		}
+	}
 }
 
 // render writes the Prometheus text exposition of every metric plus
 // the live gauges supplied by the server.
 func (m *metrics) render(w io.Writer, queueDepth int, draining bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	counter("piumaserve_runs_submitted_total", "Runs accepted into the queue.", m.submitted)
-	counter("piumaserve_runs_started_total", "Runs picked up by a worker.", m.started)
-	counter("piumaserve_runs_completed_total", "Runs finished successfully.", m.completed)
-	counter("piumaserve_runs_failed_total", "Runs that returned an error.", m.failed)
-	counter("piumaserve_runs_canceled_total", "Runs canceled or timed out.", m.canceled)
-	counter("piumaserve_cache_hits_total", "Submissions answered from the result cache.", m.cacheHits)
-	counter("piumaserve_dedup_hits_total", "Submissions collapsed onto an in-flight run.", m.dedupHits)
-	counter("piumaserve_cache_evictions_total", "Cached results evicted by capacity.", m.evicted)
-
-	fmt.Fprintf(w, "# HELP piumaserve_runs_rejected_total Submissions refused, by reason.\n# TYPE piumaserve_runs_rejected_total counter\n")
-	reasons := make([]string, 0, len(m.rejected))
-	for r := range m.rejected {
-		reasons = append(reasons, r)
-	}
-	sort.Strings(reasons)
-	for _, r := range reasons {
-		fmt.Fprintf(w, "piumaserve_runs_rejected_total{reason=%q} %d\n", r, m.rejected[r])
-	}
-
-	fmt.Fprintf(w, "# HELP piumaserve_queue_depth Accepted runs waiting for a worker.\n# TYPE piumaserve_queue_depth gauge\npiumaserve_queue_depth %d\n", queueDepth)
-	drainingVal := 0
+	m.queueDepth.Set(float64(queueDepth))
+	d := 0.0
 	if draining {
-		drainingVal = 1
+		d = 1
 	}
-	fmt.Fprintf(w, "# HELP piumaserve_draining Whether shutdown has begun.\n# TYPE piumaserve_draining gauge\npiumaserve_draining %d\n", drainingVal)
-
-	fmt.Fprintf(w, "# HELP piumaserve_run_duration_seconds Successful run duration by experiment.\n# TYPE piumaserve_run_duration_seconds histogram\n")
-	exps := make([]string, 0, len(m.durations))
-	for id := range m.durations {
-		exps = append(exps, id)
-	}
-	sort.Strings(exps)
-	for _, id := range exps {
-		h := m.durations[id]
-		cum := uint64(0)
-		for i, bound := range latencyBounds {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "piumaserve_run_duration_seconds_bucket{experiment=%q,le=\"%g\"} %d\n", id, bound, cum)
-		}
-		cum += h.counts[len(latencyBounds)]
-		fmt.Fprintf(w, "piumaserve_run_duration_seconds_bucket{experiment=%q,le=\"+Inf\"} %d\n", id, cum)
-		fmt.Fprintf(w, "piumaserve_run_duration_seconds_sum{experiment=%q} %g\n", id, h.sum)
-		fmt.Fprintf(w, "piumaserve_run_duration_seconds_count{experiment=%q} %d\n", id, h.n)
-	}
+	m.draining.Set(d)
+	m.reg.Render(w)
 }

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"piumagcn/internal/obs"
+	"piumagcn/internal/sim"
+)
+
+// TestMetricsExpositionByteCompatible pins the /metrics output against
+// what the pre-registry, hand-rolled implementation rendered: the
+// original families must appear byte for byte, in the original order,
+// with the new simulation families appended strictly after them.
+// Durations are chosen binary-exact (0.25s, 0.5s, 2s) so the histogram
+// sums format identically under %g and strconv.
+func TestMetricsExpositionByteCompatible(t *testing.T) {
+	m := newMetrics()
+	m.incSubmitted()
+	m.incSubmitted()
+	m.incSubmitted()
+	m.incStarted()
+	m.incStarted()
+	m.observeCompleted("fig5", 2*time.Second)
+	m.observeCompleted("fig2", 250*time.Millisecond)
+	m.observeCompleted("fig2", 500*time.Millisecond)
+	m.incFailed()
+	m.incCanceled()
+	m.incCacheHit()
+	m.incCacheHit()
+	m.incDedupHit()
+	m.incEvicted()
+	m.incRejected("queue_full")
+	m.incRejected("queue_full")
+	m.incRejected("draining")
+
+	var b strings.Builder
+	m.render(&b, 4, true)
+	got := b.String()
+
+	legacy := `# HELP piumaserve_runs_submitted_total Runs accepted into the queue.
+# TYPE piumaserve_runs_submitted_total counter
+piumaserve_runs_submitted_total 3
+# HELP piumaserve_runs_started_total Runs picked up by a worker.
+# TYPE piumaserve_runs_started_total counter
+piumaserve_runs_started_total 2
+# HELP piumaserve_runs_completed_total Runs finished successfully.
+# TYPE piumaserve_runs_completed_total counter
+piumaserve_runs_completed_total 3
+# HELP piumaserve_runs_failed_total Runs that returned an error.
+# TYPE piumaserve_runs_failed_total counter
+piumaserve_runs_failed_total 1
+# HELP piumaserve_runs_canceled_total Runs canceled or timed out.
+# TYPE piumaserve_runs_canceled_total counter
+piumaserve_runs_canceled_total 1
+# HELP piumaserve_cache_hits_total Submissions answered from the result cache.
+# TYPE piumaserve_cache_hits_total counter
+piumaserve_cache_hits_total 2
+# HELP piumaserve_dedup_hits_total Submissions collapsed onto an in-flight run.
+# TYPE piumaserve_dedup_hits_total counter
+piumaserve_dedup_hits_total 1
+# HELP piumaserve_cache_evictions_total Cached results evicted by capacity.
+# TYPE piumaserve_cache_evictions_total counter
+piumaserve_cache_evictions_total 1
+# HELP piumaserve_runs_rejected_total Submissions refused, by reason.
+# TYPE piumaserve_runs_rejected_total counter
+piumaserve_runs_rejected_total{reason="draining"} 1
+piumaserve_runs_rejected_total{reason="queue_full"} 2
+# HELP piumaserve_queue_depth Accepted runs waiting for a worker.
+# TYPE piumaserve_queue_depth gauge
+piumaserve_queue_depth 4
+# HELP piumaserve_draining Whether shutdown has begun.
+# TYPE piumaserve_draining gauge
+piumaserve_draining 1
+# HELP piumaserve_run_duration_seconds Successful run duration by experiment.
+# TYPE piumaserve_run_duration_seconds histogram
+piumaserve_run_duration_seconds_bucket{experiment="fig2",le="0.001"} 0
+piumaserve_run_duration_seconds_bucket{experiment="fig2",le="0.005"} 0
+piumaserve_run_duration_seconds_bucket{experiment="fig2",le="0.025"} 0
+piumaserve_run_duration_seconds_bucket{experiment="fig2",le="0.1"} 0
+piumaserve_run_duration_seconds_bucket{experiment="fig2",le="0.5"} 2
+piumaserve_run_duration_seconds_bucket{experiment="fig2",le="1"} 2
+piumaserve_run_duration_seconds_bucket{experiment="fig2",le="5"} 2
+piumaserve_run_duration_seconds_bucket{experiment="fig2",le="25"} 2
+piumaserve_run_duration_seconds_bucket{experiment="fig2",le="100"} 2
+piumaserve_run_duration_seconds_bucket{experiment="fig2",le="500"} 2
+piumaserve_run_duration_seconds_bucket{experiment="fig2",le="+Inf"} 2
+piumaserve_run_duration_seconds_sum{experiment="fig2"} 0.75
+piumaserve_run_duration_seconds_count{experiment="fig2"} 2
+piumaserve_run_duration_seconds_bucket{experiment="fig5",le="0.001"} 0
+piumaserve_run_duration_seconds_bucket{experiment="fig5",le="0.005"} 0
+piumaserve_run_duration_seconds_bucket{experiment="fig5",le="0.025"} 0
+piumaserve_run_duration_seconds_bucket{experiment="fig5",le="0.1"} 0
+piumaserve_run_duration_seconds_bucket{experiment="fig5",le="0.5"} 0
+piumaserve_run_duration_seconds_bucket{experiment="fig5",le="1"} 0
+piumaserve_run_duration_seconds_bucket{experiment="fig5",le="5"} 1
+piumaserve_run_duration_seconds_bucket{experiment="fig5",le="25"} 1
+piumaserve_run_duration_seconds_bucket{experiment="fig5",le="100"} 1
+piumaserve_run_duration_seconds_bucket{experiment="fig5",le="500"} 1
+piumaserve_run_duration_seconds_bucket{experiment="fig5",le="+Inf"} 1
+piumaserve_run_duration_seconds_sum{experiment="fig5"} 2
+piumaserve_run_duration_seconds_count{experiment="fig5"} 1
+`
+	simFamilies := `# HELP piumaserve_sim_events_total Simulation events processed, by experiment.
+# TYPE piumaserve_sim_events_total counter
+# HELP piumaserve_sim_busy_seconds_total Simulated component busy time, by component class.
+# TYPE piumaserve_sim_busy_seconds_total counter
+`
+	if want := legacy + simFamilies; got != want {
+		t.Fatalf("exposition drifted from the legacy format.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRecordProfileAggregatesSimMetrics checks the sim families pick up
+// per-run event counts and per-class busy seconds.
+func TestRecordProfileAggregatesSimMetrics(t *testing.T) {
+	m := newMetrics()
+	p := obs.NewProfiler(obs.ProfilerOptions{MaxSpans: -1})
+	rt := p.StartRun("fig5 dma c=4 K=8")
+	rt.Reserve("slice0", 0, 250*sim.Nanosecond)
+	rt.Reserve("mtp0", 0, 50*sim.Nanosecond)
+	rt.Event(10)
+	rt.Event(20)
+	m.recordProfile("fig5", p.Profile())
+	m.recordProfile("fig5", nil) // nil profile must be a no-op
+
+	var b strings.Builder
+	m.render(&b, 0, false)
+	out := b.String()
+	for _, want := range []string{
+		`piumaserve_sim_events_total{experiment="fig5"} 2`,
+		`piumaserve_sim_busy_seconds_total{class="core"} 5e-08`,
+		`piumaserve_sim_busy_seconds_total{class="dram-slice"} 2.5e-07`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+}

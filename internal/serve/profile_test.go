@@ -1,0 +1,139 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"piumagcn/internal/bench"
+	"piumagcn/internal/obs"
+	"piumagcn/internal/serve"
+	"piumagcn/internal/sim"
+)
+
+// simulatingExperiment registers one synthetic simulated run with the
+// profiler the server puts in the experiment context, mirroring what
+// the bench kernel helpers do.
+func simulatingExperiment(id string) bench.Experiment {
+	return bench.Experiment{
+		ID:    id,
+		Title: "test simulator",
+		Run: func(ctx context.Context, o bench.Options) (*bench.Report, error) {
+			if p := obs.FromContext(ctx); p != nil {
+				rt := p.StartRun(id + " c=1")
+				rt.Reserve("slice0", 0, 100*sim.Nanosecond)
+				rt.Reserve("dma0", 0, 40*sim.Nanosecond)
+				rt.Event(5 * sim.Nanosecond)
+			}
+			r := &bench.Report{ID: id, Title: "test simulator"}
+			r.Add("section", "body")
+			return r, nil
+		},
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	s := newTestServer(t, serve.Config{
+		Workers:     1,
+		Experiments: []bench.Experiment{simulatingExperiment("sim-exp")},
+	})
+	h := s.Handler()
+
+	w := doJSON(t, h, "POST", "/v1/runs?wait=true", `{"experiment":"sim-exp"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("submit status = %d: %s", w.Code, w.Body.String())
+	}
+	id := decodeRun(t, w).ID
+
+	w = doJSON(t, h, "GET", "/v1/runs/"+id+"/profile", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("profile status = %d: %s", w.Code, w.Body.String())
+	}
+	var p obs.Profile
+	if err := json.Unmarshal(w.Body.Bytes(), &p); err != nil {
+		t.Fatalf("decoding profile: %v\n%s", err, w.Body.String())
+	}
+	if len(p.Runs) != 1 || p.Runs[0].Label != "sim-exp c=1" {
+		t.Fatalf("profile runs = %+v", p.Runs)
+	}
+	slice, ok := p.Runs[0].Class("dram-slice")
+	if !ok || slice.Busy != 100*sim.Nanosecond {
+		t.Fatalf("dram-slice stats = %+v (ok=%v)", slice, ok)
+	}
+
+	// The run's sim activity must surface in /metrics too.
+	w = doJSON(t, h, "GET", "/metrics", "")
+	body := w.Body.String()
+	for _, want := range []string{
+		`piumaserve_sim_events_total{experiment="sim-exp"} 1`,
+		`piumaserve_sim_busy_seconds_total{class="dma"}`,
+		`piumaserve_sim_busy_seconds_total{class="dram-slice"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in /metrics:\n%s", want, body)
+		}
+	}
+}
+
+func TestProfileEndpointUnknownRunIs404(t *testing.T) {
+	s := newTestServer(t, serve.Config{})
+	w := doJSON(t, s.Handler(), "GET", "/v1/runs/r-nope/profile", "")
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", w.Code)
+	}
+}
+
+func TestProfileEndpointNotDoneIs409(t *testing.T) {
+	release := make(chan struct{})
+	var started atomic.Int64
+	s := newTestServer(t, serve.Config{
+		Workers:     1,
+		Experiments: []bench.Experiment{blockingExperiment("blocker", &started, release)},
+	})
+	h := s.Handler()
+
+	w := doJSON(t, h, "POST", "/v1/runs", `{"experiment":"blocker"}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", w.Code)
+	}
+	id := decodeRun(t, w).ID
+	waitStatus(t, s, id, serve.StatusRunning)
+
+	w = doJSON(t, h, "GET", "/v1/runs/"+id+"/profile", "")
+	if w.Code != http.StatusConflict {
+		t.Fatalf("in-flight profile status = %d, want 409: %s", w.Code, w.Body.String())
+	}
+
+	close(release)
+	waitStatus(t, s, id, serve.StatusDone)
+	w = doJSON(t, h, "GET", "/v1/runs/"+id+"/profile", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("done profile status = %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// Analytical experiments never touch the simulator; their profile is an
+// empty (but present, non-null) run list.
+func TestProfileEndpointAnalyticalRunIsEmpty(t *testing.T) {
+	s := newTestServer(t, serve.Config{Workers: 1})
+	h := s.Handler()
+	w := doJSON(t, h, "POST", "/v1/runs?wait=true", `{"experiment":"fig2","options":{"max_sim_edges":1024,"quick":true,"seed":7}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("submit status = %d: %s", w.Code, w.Body.String())
+	}
+	id := decodeRun(t, w).ID
+	w = doJSON(t, h, "GET", "/v1/runs/"+id+"/profile", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("profile status = %d: %s", w.Code, w.Body.String())
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(w.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["runs"]) != "[]" {
+		t.Fatalf(`runs = %s, want []`, raw["runs"])
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"piumagcn/internal/bench"
+	"piumagcn/internal/obs"
 )
 
 // Sentinel errors; the HTTP handlers map them onto status codes.
@@ -119,8 +120,12 @@ type run struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	status    Status
-	report    *bench.Report
+	status Status
+	report *bench.Report
+	// profile aggregates the run's event-level simulations (per-
+	// component utilization); nil until the experiment returns, and for
+	// runs canceled before execution.
+	profile   *obs.Profile
 	errMsg    string
 	submitted time.Time
 	started   time.Time
@@ -319,6 +324,20 @@ func (s *Server) Get(id string) (RunView, bool) {
 	return r.view(), true
 }
 
+// Profile returns a run's simulation profile. The bool reports whether
+// the run exists; the profile is nil until the run is done (and stays
+// nil for runs that never executed an event-level simulation — those
+// report an empty run list, not nil).
+func (s *Server) Profile(id string) (*obs.Profile, Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return nil, "", false
+	}
+	return r.profile, r.status, true
+}
+
 // Runs snapshots every known run, most recently submitted first.
 func (s *Server) Runs() []RunView {
 	s.mu.Lock()
@@ -478,12 +497,18 @@ func (s *Server) execute(r *run) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RunTimeout)
 		defer cancel()
 	}
-	rep, err := r.exp.Run(ctx, r.opts)
+	// Aggregation-only profiler: per-component utilization without span
+	// retention, so long-running services never accumulate trace memory.
+	// The experiment runs single-threadedly against it; the run.done
+	// close in finishLocked publishes the finished profile to readers.
+	prof := obs.NewProfiler(obs.ProfilerOptions{MaxSpans: -1})
+	rep, err := r.exp.Run(obs.NewContext(ctx, prof), r.opts)
 	if err == nil && rep == nil {
 		err = fmt.Errorf("experiment %s returned no report", r.exp.ID)
 	}
 
 	s.mu.Lock()
+	r.profile = prof.Profile()
 	s.finishLocked(r, rep, err)
 	s.mu.Unlock()
 }
@@ -498,6 +523,7 @@ func (s *Server) finishLocked(r *run, rep *bench.Report, err error) {
 		r.status = StatusDone
 		r.report = rep
 		s.metrics.observeCompleted(r.exp.ID, r.finished.Sub(r.started))
+		s.metrics.recordProfile(r.exp.ID, r.profile)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		r.status = StatusCanceled
 		r.errMsg = err.Error()

@@ -233,7 +233,12 @@ type Server struct {
 	next Time
 	// busy accumulates reserved time.
 	busy Time
+	// tracer, when set, observes every reservation.
+	tracer Tracer
 }
+
+// SetTracer installs (or clears, with nil) the server's tracer.
+func (s *Server) SetTracer(tr Tracer) { s.tracer = tr }
 
 // Reserve books dur of service starting no earlier than now, returning
 // the start and completion times. It never blocks: callers model
@@ -249,6 +254,9 @@ func (s *Server) Reserve(now Time, dur Time) (start, end Time) {
 	end = start + dur
 	s.next = end
 	s.busy += dur
+	if s.tracer != nil {
+		s.tracer.Reserve(s.Name, start, end)
+	}
 	return start, end
 }
 

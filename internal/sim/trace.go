@@ -1,103 +1,35 @@
 package sim
 
-import (
-	"fmt"
-	"sort"
-	"strings"
-)
-
-// Tracer observes engine activity. Implementations must be cheap: the
-// engine calls them on every event dispatch and process transition.
+// Tracer observes engine and resource activity. Implementations must be
+// cheap: the engine calls Event on every dispatch and Process on every
+// process transition, and Servers call Reserve on every reservation.
+// When no tracer is installed the cost is a single nil comparison and
+// zero allocations on the hot path (locked in by the alloc tests and
+// benchmarks in trace_test.go).
+//
+// The aggregating implementation lives in internal/obs: obs.Profiler
+// turns these callbacks into per-component utilization breakdowns and
+// Chrome trace_event exports.
 type Tracer interface {
 	// Event fires when the engine dispatches a scheduled event.
 	Event(t Time)
 	// Process fires on process lifecycle transitions; kind is one of
 	// "spawn", "resume", "park", "finish".
 	Process(t Time, name, kind string)
+	// Reserve fires when a Server books [start, end) of its service
+	// timeline. Reservations on one server never overlap (the timeline
+	// is FIFO), which makes them renderable as complete spans.
+	Reserve(resource string, start, end Time)
+	// Span reports a typed interval on a named track that is not a
+	// server reservation: thread phases (startup, barrier) or in-flight
+	// network transfers. Spans on one track may overlap.
+	Span(track, name string, start, end Time)
 }
 
-// SetTracer installs (or clears, with nil) the engine's tracer.
+// SetTracer installs (or clears, with nil) the engine's tracer. It does
+// not wire Server tracers: callers that own servers (piuma.Machine)
+// install those explicitly so every component reports to one sink.
 func (e *Engine) SetTracer(tr Tracer) { e.tracer = tr }
 
-// Recorder is a Tracer that aggregates counts and a coarse utilization
-// timeline — enough to answer "what was the machine doing over time"
-// without storing per-event records.
-type Recorder struct {
-	// BucketWidth is the timeline resolution (default 1 µs).
-	BucketWidth Time
-	events      int64
-	transitions map[string]int64
-	buckets     map[int64]int64
-	maxTime     Time
-}
-
-// NewRecorder returns a Recorder with the given bucket width
-// (0 = 1 µs).
-func NewRecorder(bucket Time) *Recorder {
-	if bucket <= 0 {
-		bucket = Microsecond
-	}
-	return &Recorder{
-		BucketWidth: bucket,
-		transitions: make(map[string]int64),
-		buckets:     make(map[int64]int64),
-	}
-}
-
-// Event implements Tracer.
-func (r *Recorder) Event(t Time) {
-	r.events++
-	r.buckets[int64(t/r.BucketWidth)]++
-	if t > r.maxTime {
-		r.maxTime = t
-	}
-}
-
-// Process implements Tracer.
-func (r *Recorder) Process(t Time, name, kind string) {
-	r.transitions[kind]++
-	if t > r.maxTime {
-		r.maxTime = t
-	}
-}
-
-// Events returns the dispatched-event count.
-func (r *Recorder) Events() int64 { return r.events }
-
-// Transitions returns the per-kind process transition counts.
-func (r *Recorder) Transitions(kind string) int64 { return r.transitions[kind] }
-
-// Summary renders a compact activity report: totals plus an
-// events-per-bucket sparkline of the busiest stretch.
-func (r *Recorder) Summary() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "events=%d spawns=%d finishes=%d span=%.3gus\n",
-		r.events, r.transitions["spawn"], r.transitions["finish"],
-		float64(r.maxTime)/float64(Microsecond))
-	if len(r.buckets) == 0 {
-		return b.String()
-	}
-	keys := make([]int64, 0, len(r.buckets))
-	for k := range r.buckets {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	const maxCols = 60
-	if len(keys) > maxCols {
-		keys = keys[:maxCols]
-	}
-	peak := int64(1)
-	for _, k := range keys {
-		if r.buckets[k] > peak {
-			peak = r.buckets[k]
-		}
-	}
-	shades := []byte(" .:-=+*#%@")
-	b.WriteString("activity |")
-	for _, k := range keys {
-		idx := int(r.buckets[k] * int64(len(shades)-1) / peak)
-		b.WriteByte(shades[idx])
-	}
-	b.WriteString("|\n")
-	return b.String()
-}
+// Tracer returns the engine's installed tracer (nil if none).
+func (e *Engine) Tracer() Tracer { return e.tracer }

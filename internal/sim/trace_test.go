@@ -1,14 +1,42 @@
 package sim
 
-import (
-	"strings"
-	"testing"
-)
+import "testing"
 
-func TestRecorderCountsEngineActivity(t *testing.T) {
+// stubTracer records every callback for wiring tests.
+type stubTracer struct {
+	events      int64
+	transitions map[string]int64
+	reserves    []reserveRec
+	spans       []spanRec
+}
+
+type reserveRec struct {
+	resource   string
+	start, end Time
+}
+
+type spanRec struct {
+	track, name string
+	start, end  Time
+}
+
+func newStubTracer() *stubTracer {
+	return &stubTracer{transitions: make(map[string]int64)}
+}
+
+func (s *stubTracer) Event(t Time)                   { s.events++ }
+func (s *stubTracer) Process(t Time, n, kind string) { s.transitions[kind]++ }
+func (s *stubTracer) Reserve(res string, a, b Time) {
+	s.reserves = append(s.reserves, reserveRec{res, a, b})
+}
+func (s *stubTracer) Span(track, n string, a, b Time) {
+	s.spans = append(s.spans, spanRec{track, n, a, b})
+}
+
+func TestTracerSeesEngineActivity(t *testing.T) {
 	e := NewEngine()
-	rec := NewRecorder(0)
-	e.SetTracer(rec)
+	tr := newStubTracer()
+	e.SetTracer(tr)
 	for i := 0; i < 3; i++ {
 		e.Spawn("p", func(p *Proc) {
 			p.Sleep(10)
@@ -18,59 +46,97 @@ func TestRecorderCountsEngineActivity(t *testing.T) {
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if rec.Transitions("spawn") != 3 {
-		t.Fatalf("spawns = %d", rec.Transitions("spawn"))
+	if tr.transitions["spawn"] != 3 {
+		t.Fatalf("spawns = %d", tr.transitions["spawn"])
 	}
-	if rec.Transitions("finish") != 3 {
-		t.Fatalf("finishes = %d", rec.Transitions("finish"))
+	if tr.transitions["finish"] != 3 {
+		t.Fatalf("finishes = %d", tr.transitions["finish"])
 	}
 	// Each process: 1 initial activation + 2 sleep wakes = 3 resumes.
-	if rec.Transitions("resume") != 9 {
-		t.Fatalf("resumes = %d", rec.Transitions("resume"))
+	if tr.transitions["resume"] != 9 {
+		t.Fatalf("resumes = %d", tr.transitions["resume"])
 	}
 	// Parks = resumes - finishes.
-	if rec.Transitions("park") != 6 {
-		t.Fatalf("parks = %d", rec.Transitions("park"))
+	if tr.transitions["park"] != 6 {
+		t.Fatalf("parks = %d", tr.transitions["park"])
 	}
-	if rec.Events() != e.Events() {
-		t.Fatalf("recorder saw %d events, engine dispatched %d", rec.Events(), e.Events())
+	if tr.events != e.Events() {
+		t.Fatalf("tracer saw %d events, engine dispatched %d", tr.events, e.Events())
 	}
 }
 
-func TestRecorderSummary(t *testing.T) {
-	e := NewEngine()
-	rec := NewRecorder(Nanosecond)
-	e.SetTracer(rec)
-	e.Spawn("p", func(p *Proc) {
-		for i := 0; i < 20; i++ {
-			p.Sleep(Nanosecond)
+func TestServerReserveEmitsToTracer(t *testing.T) {
+	tr := newStubTracer()
+	s := &Server{Name: "slice0"}
+	s.SetTracer(tr)
+	s.Reserve(0, 5)
+	s.Reserve(2, 5) // queues behind the first: [5, 10)
+	want := []reserveRec{{"slice0", 0, 5}, {"slice0", 5, 10}}
+	if len(tr.reserves) != len(want) {
+		t.Fatalf("reserves = %v", tr.reserves)
+	}
+	for i, r := range want {
+		if tr.reserves[i] != r {
+			t.Fatalf("reserve[%d] = %+v, want %+v", i, tr.reserves[i], r)
 		}
-	})
-	if err := e.Run(); err != nil {
-		t.Fatal(err)
 	}
-	s := rec.Summary()
-	if !strings.Contains(s, "events=") || !strings.Contains(s, "activity |") {
-		t.Fatalf("summary:\n%s", s)
-	}
-}
-
-func TestRecorderEmptySummary(t *testing.T) {
-	rec := NewRecorder(0)
-	if s := rec.Summary(); !strings.Contains(s, "events=0") {
-		t.Fatalf("empty summary: %s", s)
-	}
-	if rec.BucketWidth != Microsecond {
-		t.Fatal("default bucket width should be 1us")
+	if s.BusyTime() != 10 {
+		t.Fatalf("busy = %d", s.BusyTime())
 	}
 }
 
 func TestSetTracerNilIsSafe(t *testing.T) {
 	e := NewEngine()
-	e.SetTracer(NewRecorder(0))
+	e.SetTracer(newStubTracer())
 	e.SetTracer(nil)
-	e.Spawn("p", func(p *Proc) { p.Sleep(1) })
+	if e.Tracer() != nil {
+		t.Fatal("tracer should be cleared")
+	}
+	s := &Server{Name: "s"}
+	s.SetTracer(newStubTracer())
+	s.SetTracer(nil)
+	e.Spawn("p", func(p *Proc) {
+		s.Reserve(p.Now(), 1)
+		p.Sleep(1)
+	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
 }
+
+// TestUntracedReserveAllocatesNothing locks in the acceptance criterion
+// that disabled profiling costs no allocations on the engine hot path:
+// a reservation with no tracer is pure arithmetic.
+func TestUntracedReserveAllocatesNothing(t *testing.T) {
+	s := &Server{Name: "slice0"}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Reserve(0, 5)
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced Reserve allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkReserveUntraced(b *testing.B) {
+	s := &Server{Name: "slice0"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Reserve(Time(i), 5)
+	}
+}
+
+func BenchmarkReserveTraced(b *testing.B) {
+	s := &Server{Name: "slice0"}
+	s.SetTracer(nopTracer{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Reserve(Time(i), 5)
+	}
+}
+
+type nopTracer struct{}
+
+func (nopTracer) Event(Time)                      {}
+func (nopTracer) Process(Time, string, string)    {}
+func (nopTracer) Reserve(string, Time, Time)      {}
+func (nopTracer) Span(string, string, Time, Time) {}
