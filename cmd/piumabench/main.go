@@ -9,6 +9,7 @@
 //	piumabench -experiment table1 -json
 //	piumabench -experiment fig7 -quick -trace fig7.json
 //	piumabench -experiment fig8 -profile
+//	piumabench -experiment ext-degraded -faults "seed=7,dead-cores=2,net-delay=3,loss=0.05"
 //
 // Each experiment prints a text report (tables, stacked breakdown bars,
 // scaling curves) whose rows mirror what the paper's figure reports; see
@@ -49,6 +50,7 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit each report as JSON (the piumaserve wire format)")
 		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON file (open in ui.perfetto.dev)")
 		profile     = flag.Bool("profile", false, "print a simulation activity summary after each experiment")
+		faultSpec   = flag.String("faults", "", `fault-injection spec for degraded-mode runs, e.g. "seed=7,dead-cores=2,net-delay=3,loss=0.05"`)
 	)
 	flag.Parse()
 
@@ -66,7 +68,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := bench.Options{MaxSimEdges: *maxSimEdges, Quick: *quick, Seed: *seed}
+	opts := bench.Options{MaxSimEdges: *maxSimEdges, Quick: *quick, Seed: *seed, Faults: *faultSpec}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	var targets []bench.Experiment
 	if *experiment == "all" {
 		targets = bench.All()
@@ -95,9 +101,16 @@ func main() {
 	for _, e := range targets {
 		start := time.Now()
 		mark := prof.Mark()
-		report, err := e.Run(ctx, opts)
+		// Each experiment checkpoints its sweep points: if the run is
+		// interrupted (Ctrl-C mid-sweep), the completed points still
+		// surface as a partial report instead of vanishing.
+		cp := bench.NewCheckpoint()
+		report, err := e.Run(bench.WithCheckpoint(ctx, cp), opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			if partial := cp.PartialReport(e); partial != nil {
+				fmt.Print(partial.String())
+			}
 			os.Exit(1)
 		}
 		if prof != nil {

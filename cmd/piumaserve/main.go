@@ -47,16 +47,20 @@ func main() {
 		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = half the CPUs)")
 		queueDepth = flag.Int("queue-depth", 16, "bounded job queue depth (full queue returns 429)")
 		cacheCap   = flag.Int("cache-cap", 128, "completed reports kept for cache hits")
-		runTimeout = flag.Duration("run-timeout", 0, "per-run execution bound (0 = unbounded)")
+		runTimeout = flag.Duration("run-timeout", 0, "per-run execution bound; expired runs report status \"timeout\" with a partial report (0 = unbounded)")
+		maxRetries = flag.Int("max-retries", 1, "retries for transient-error run failures, resuming from the run checkpoint (negative disables)")
+		retryWait  = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first retry (exponential with jitter; 0 = immediate)")
 		grace      = flag.Duration("shutdown-grace", 30*time.Second, "drain deadline after SIGTERM")
 	)
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		CacheCap:   *cacheCap,
-		RunTimeout: *runTimeout,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheCap:     *cacheCap,
+		RunTimeout:   *runTimeout,
+		MaxRetries:   *maxRetries,
+		RetryBackoff: *retryWait,
 	})
 
 	httpSrv := &http.Server{

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"piumagcn/internal/faults"
 )
 
 // Options tunes experiment cost. Event-level simulations run on
@@ -23,6 +25,25 @@ type Options struct {
 	Quick bool `json:"quick"`
 	// Seed drives all synthetic generation.
 	Seed int64 `json:"seed"`
+	// Faults is a fault-injection spec (faults.Parse syntax, e.g.
+	// "dead-cores=2,net-delay=3,loss=0.05") consumed by the degraded-mode
+	// experiment. Empty means the experiment falls back to its built-in
+	// default profile. omitempty keeps pre-existing run identities
+	// stable: an absent spec serializes exactly as before the field
+	// existed.
+	Faults string `json:"faults,omitempty"`
+}
+
+// FaultSpec parses the Faults field (nil when unset).
+func (o Options) FaultSpec() (*faults.Spec, error) {
+	if o.Faults == "" {
+		return nil, nil
+	}
+	spec, err := faults.Parse(o.Faults)
+	if err != nil {
+		return nil, err
+	}
+	return &spec, nil
 }
 
 // DefaultOptions balances fidelity and runtime (a few minutes for the
@@ -42,6 +63,9 @@ func QuickOptions() Options {
 func (o Options) Validate() error {
 	if o.MaxSimEdges <= 0 {
 		return fmt.Errorf("bench: MaxSimEdges must be positive, got %d", o.MaxSimEdges)
+	}
+	if _, err := o.FaultSpec(); err != nil {
+		return fmt.Errorf("bench: invalid fault spec: %w", err)
 	}
 	return nil
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ext-fusion", "ext-hetero", "ext-distributed", "ext-randomwalk", "ext-vertexpar"}
+	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ext-degraded", "ext-fusion", "ext-hetero", "ext-distributed", "ext-randomwalk", "ext-vertexpar"}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
 			t.Errorf("missing experiment %s: %v", id, err)

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzOptionsValidate drives Options through the same decode+validate
+// path the serve API uses on untrusted request bodies: JSON decoding
+// must never panic, and any option set that validates must survive a
+// JSON round trip and still validate (run identity depends on stable
+// re-encoding).
+func FuzzOptionsValidate(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"max_sim_edges":131072,"seed":7}`,
+		`{"max_sim_edges":16384,"quick":true,"seed":7}`,
+		`{"max_sim_edges":-1}`,
+		`{"max_sim_edges":1,"faults":"dead-cores=2,net-delay=3,loss=0.05"}`,
+		`{"max_sim_edges":1,"faults":"bogus"}`,
+		`{"max_sim_edges":1,"faults":"slice-derate=1"}`,
+		`{"max_sim_edges":9007199254740993}`,
+		`{"seed":-9223372036854775808}`,
+		`{"quick":"yes"}`,
+		`[1,2,3]`,
+		`null`,
+		`{"faults":"seed=1,loss=0.999999"}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var o Options
+		if err := json.Unmarshal(body, &o); err != nil {
+			return
+		}
+		if err := o.Validate(); err != nil {
+			return
+		}
+		// A valid option set must re-encode and still be the same valid
+		// set: the serve layer derives run identity from this encoding.
+		enc, err := json.Marshal(o)
+		if err != nil {
+			t.Fatalf("valid options %+v failed to marshal: %v", o, err)
+		}
+		var round Options
+		if err := json.Unmarshal(enc, &round); err != nil {
+			t.Fatalf("re-decode of %s: %v", enc, err)
+		}
+		if round != o {
+			t.Fatalf("JSON round trip changed options: %+v -> %+v", o, round)
+		}
+		if err := round.Validate(); err != nil {
+			t.Fatalf("round-tripped options invalid: %v", err)
+		}
+		spec, err := o.FaultSpec()
+		if err != nil {
+			t.Fatalf("Validate passed but FaultSpec failed: %v", err)
+		}
+		if spec != nil {
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("FaultSpec returned invalid spec: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,472 @@
+// Package faults injects deterministic hardware degradation into the
+// simulated PIUMA machine: dead cores and MTP pipelines, per-slice DRAM
+// bandwidth derating, inflated network latency and retransmit-on-loss.
+//
+// A Spec is pure data (JSON- and string-encodable, so it can ride in
+// bench.Options and on the piumabench command line); an Injection is a
+// Spec bound to a concrete machine shape, with the seeded random
+// choices — which cores die, which slices slow down, which remote reads
+// are lost — already drawn. Identical seed and spec always produce the
+// identical injection, which is what keeps degraded-mode sweeps
+// byte-for-byte reproducible.
+//
+// The fault model follows the paper's first-order queueing view: a dead
+// core loses its pipelines and DMA engine but its DRAM slice stays
+// addressable (the DGAS keeps interleaving over all slices, so address
+// homing — and therefore healthy-run determinism — is unchanged); a
+// derated slice serves the same bytes over a proportionally longer bus
+// occupancy; network loss re-reserves the slice bus and pays the flight
+// latency again per retransmit.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec describes one fault-injection scenario. The zero value injects
+// nothing. All random choices derive from Seed.
+type Spec struct {
+	// Seed drives every random choice (unit selection, loss draws).
+	Seed int64 `json:"seed,omitempty"`
+	// DeadCores is the number of cores whose pipelines and DMA engine
+	// are offline. Their DRAM slices stay addressable.
+	DeadCores int `json:"dead_cores,omitempty"`
+	// DeadMTPs is the number of additional MTP pipelines (on otherwise
+	// live cores) that are offline.
+	DeadMTPs int `json:"dead_mtps,omitempty"`
+	// DeratedSlices is how many DRAM slices run below full bandwidth.
+	DeratedSlices int `json:"derated_slices,omitempty"`
+	// SliceDerate is the fractional bandwidth loss of a derated slice,
+	// in [0, 1): 0.5 means the slice serves at half bandwidth.
+	SliceDerate float64 `json:"slice_derate,omitempty"`
+	// NetDelayFactor multiplies the remote-access network latency
+	// (base + per-hop). 0 or 1 means unchanged; values above 1 slow the
+	// network down.
+	NetDelayFactor float64 `json:"net_delay,omitempty"`
+	// LossRate is the per-remote-read probability of a retransmit, in
+	// [0, 1). Each retransmit re-reserves the slice bus and pays the
+	// flight latency again.
+	LossRate float64 `json:"loss,omitempty"`
+}
+
+// specKeys is the canonical key order of the string encoding.
+var specKeys = []string{"seed", "dead-cores", "dead-mtps", "derated-slices", "slice-derate", "net-delay", "loss"}
+
+// Parse decodes the comma-separated key=value spec format used on
+// command lines and in bench.Options.Faults, e.g.
+//
+//	"seed=3,dead-cores=1,derated-slices=2,slice-derate=0.5,net-delay=2,loss=0.01"
+//
+// An empty string is the zero (inject-nothing) Spec. The result is
+// validated and normalized so Parse(s.String()) round-trips.
+func Parse(s string) (Spec, error) {
+	var spec Spec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faults: %q is not key=value", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "dead-cores":
+			spec.DeadCores, err = parseCount(val)
+		case "dead-mtps":
+			spec.DeadMTPs, err = parseCount(val)
+		case "derated-slices":
+			spec.DeratedSlices, err = parseCount(val)
+		case "slice-derate":
+			spec.SliceDerate, err = strconv.ParseFloat(val, 64)
+		case "net-delay":
+			spec.NetDelayFactor, err = strconv.ParseFloat(val, 64)
+		case "loss":
+			spec.LossRate, err = strconv.ParseFloat(val, 64)
+		default:
+			return Spec{}, fmt.Errorf("faults: unknown key %q (valid: %s)", key, strings.Join(specKeys, ", "))
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("faults: bad value for %s: %v", key, err)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec.normalized(), nil
+}
+
+func parseCount(val string) (int, error) {
+	n, err := strconv.ParseInt(val, 10, 32)
+	return int(n), err
+}
+
+// String renders the canonical key=value encoding: keys in fixed order,
+// zero-valued fields omitted. The empty spec renders as "".
+func (s Spec) String() string {
+	s = s.normalized()
+	var parts []string
+	add := func(key, val string) { parts = append(parts, key+"="+val) }
+	if s.Seed != 0 {
+		add("seed", strconv.FormatInt(s.Seed, 10))
+	}
+	if s.DeadCores != 0 {
+		add("dead-cores", strconv.Itoa(s.DeadCores))
+	}
+	if s.DeadMTPs != 0 {
+		add("dead-mtps", strconv.Itoa(s.DeadMTPs))
+	}
+	if s.DeratedSlices != 0 {
+		add("derated-slices", strconv.Itoa(s.DeratedSlices))
+	}
+	if s.SliceDerate != 0 {
+		add("slice-derate", strconv.FormatFloat(s.SliceDerate, 'g', -1, 64))
+	}
+	if s.NetDelayFactor != 0 {
+		add("net-delay", strconv.FormatFloat(s.NetDelayFactor, 'g', -1, 64))
+	}
+	if s.LossRate != 0 {
+		add("loss", strconv.FormatFloat(s.LossRate, 'g', -1, 64))
+	}
+	return strings.Join(parts, ",")
+}
+
+// normalized folds representations with identical effect onto one
+// canonical form (a network factor of exactly 1 is "unchanged").
+func (s Spec) normalized() Spec {
+	if s.NetDelayFactor == 1 {
+		s.NetDelayFactor = 0
+	}
+	return s
+}
+
+// Validate rejects specs outside the model's domain. It does not check
+// machine-shape limits (dead cores vs. core count); New does.
+func (s Spec) Validate() error {
+	switch {
+	case s.DeadCores < 0 || s.DeadMTPs < 0 || s.DeratedSlices < 0:
+		return fmt.Errorf("faults: unit counts must be non-negative")
+	case math.IsNaN(s.SliceDerate) || s.SliceDerate < 0 || s.SliceDerate >= 1:
+		return fmt.Errorf("faults: slice-derate %v outside [0, 1)", s.SliceDerate)
+	case math.IsNaN(s.NetDelayFactor) || math.IsInf(s.NetDelayFactor, 0) ||
+		(s.NetDelayFactor != 0 && s.NetDelayFactor < 1):
+		return fmt.Errorf("faults: net-delay %v must be 0 (unset) or a finite factor >= 1", s.NetDelayFactor)
+	case math.IsNaN(s.LossRate) || s.LossRate < 0 || s.LossRate >= 1:
+		return fmt.Errorf("faults: loss %v outside [0, 1)", s.LossRate)
+	}
+	return nil
+}
+
+// Empty reports whether the spec injects nothing: every dimension is
+// either zero or has no observable effect (e.g. derated slices with a
+// zero derate).
+func (s Spec) Empty() bool {
+	return s.DeadCores == 0 && s.DeadMTPs == 0 &&
+		(s.DeratedSlices == 0 || s.SliceDerate == 0) &&
+		s.netFactor() == 1 && s.LossRate == 0
+}
+
+// netFactor is the effective network multiplier (>= 1).
+func (s Spec) netFactor() float64 {
+	if s.NetDelayFactor == 0 {
+		return 1
+	}
+	return s.NetDelayFactor
+}
+
+// Scale interpolates the spec between healthy (f=0) and itself (f=1):
+// unit counts round to the nearest integer, rates scale linearly, and
+// the network factor interpolates from 1. The seed is preserved so the
+// same units die first as severity grows.
+func (s Spec) Scale(f float64) Spec {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	out := Spec{Seed: s.Seed}
+	if f == 0 {
+		return out
+	}
+	out.DeadCores = int(math.Round(f * float64(s.DeadCores)))
+	out.DeadMTPs = int(math.Round(f * float64(s.DeadMTPs)))
+	out.DeratedSlices = int(math.Round(f * float64(s.DeratedSlices)))
+	out.SliceDerate = f * s.SliceDerate
+	if nf := s.netFactor(); nf > 1 {
+		out.NetDelayFactor = 1 + f*(nf-1)
+	}
+	out.LossRate = f * s.LossRate
+	return out.normalized()
+}
+
+// Severity reduces the spec to one [0, 1] scalar for dashboards and the
+// piumaserve_fault_severity gauge: the mean of its normalized
+// dimensions (dead compute against a reference 8-core die, slice
+// derating weighted by slices hit, network delay against a 4x factor,
+// loss against a 10% ceiling). It is a monotone summary, not a physical
+// quantity.
+func (s Spec) Severity() float64 {
+	if s.Empty() {
+		return 0
+	}
+	dims := []float64{
+		clamp01((float64(s.DeadCores) + float64(s.DeadMTPs)/4) / 8),
+		clamp01(s.SliceDerate * float64(s.DeratedSlices) / 8),
+		clamp01((s.netFactor() - 1) / 3),
+		clamp01(s.LossRate / 0.1),
+	}
+	sum := 0.0
+	for _, d := range dims {
+		sum += d
+	}
+	return sum / float64(len(dims))
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// DefaultProfile is the reference degradation scenario of the
+// ext-degraded experiment at full severity: a quarter of a die's cores
+// dark, a few more pipelines gone, half the slices at quarter
+// bandwidth, a 3x slower network, and 5% remote-read loss.
+func DefaultProfile(seed int64) Spec {
+	return Spec{
+		Seed:           seed,
+		DeadCores:      2,
+		DeadMTPs:       2,
+		DeratedSlices:  4,
+		SliceDerate:    0.75,
+		NetDelayFactor: 3,
+		LossRate:       0.05,
+	}
+}
+
+// maxRetransmits caps the retransmit chain of one remote read so a
+// high loss rate degrades throughput rather than deadlocking progress.
+const maxRetransmits = 4
+
+// Injection is a Spec bound to a machine shape, with every seeded
+// choice drawn. A nil *Injection is valid and injects nothing (all
+// methods are nil-safe), which keeps the healthy hot paths free of
+// fault checks. Injection is not safe for concurrent use; like the
+// simulation engine it belongs to exactly one run.
+type Injection struct {
+	spec        Spec
+	cores       int
+	mtpsPerCore int
+
+	coreDead  []bool // per core
+	mtpDead   []bool // per global MTP index (core*mtpsPerCore+m)
+	sliceSlow []bool // per core's DRAM slice
+
+	// lossRNG is consulted once per remote read, in deterministic
+	// simulation order, and only when LossRate > 0 — so a zero-loss
+	// injection is draw-for-draw identical to no injection at all.
+	lossRNG *rand.Rand
+}
+
+// New binds spec to a machine with the given core and MTP-per-core
+// counts. An empty spec yields a nil Injection (inject nothing). The
+// spec must leave at least one live MTP so kernels can make progress.
+func New(spec Spec, cores, mtpsPerCore int) (*Injection, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.normalized()
+	if spec.Empty() {
+		return nil, nil
+	}
+	if cores <= 0 || mtpsPerCore <= 0 {
+		return nil, fmt.Errorf("faults: machine shape %d cores x %d MTPs is not positive", cores, mtpsPerCore)
+	}
+	if spec.DeadCores >= cores {
+		return nil, fmt.Errorf("faults: dead-cores=%d leaves no live core on a %d-core machine", spec.DeadCores, cores)
+	}
+	if spec.DeratedSlices > cores {
+		return nil, fmt.Errorf("faults: derated-slices=%d exceeds the %d slices of the machine", spec.DeratedSlices, cores)
+	}
+	aliveMTPs := (cores - spec.DeadCores) * mtpsPerCore
+	if spec.DeadMTPs >= aliveMTPs {
+		return nil, fmt.Errorf("faults: dead-mtps=%d leaves no live pipeline (%d MTPs survive the dead cores)", spec.DeadMTPs, aliveMTPs)
+	}
+
+	inj := &Injection{
+		spec:        spec,
+		cores:       cores,
+		mtpsPerCore: mtpsPerCore,
+		coreDead:    make([]bool, cores),
+		mtpDead:     make([]bool, cores*mtpsPerCore),
+		sliceSlow:   make([]bool, cores),
+		lossRNG:     rand.New(rand.NewSource(spec.Seed ^ 0x5DEECE66D)),
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	for _, c := range rng.Perm(cores)[:spec.DeadCores] {
+		inj.coreDead[c] = true
+	}
+	// Dead MTPs are drawn from the pipelines of live cores only, so the
+	// spec's count is exactly the number of *additional* losses.
+	var candidates []int
+	for c := 0; c < cores; c++ {
+		if inj.coreDead[c] {
+			continue
+		}
+		for m := 0; m < mtpsPerCore; m++ {
+			candidates = append(candidates, c*mtpsPerCore+m)
+		}
+	}
+	for _, i := range rng.Perm(len(candidates))[:spec.DeadMTPs] {
+		inj.mtpDead[candidates[i]] = true
+	}
+	for _, c := range rng.Perm(cores)[:spec.DeratedSlices] {
+		inj.sliceSlow[c] = true
+	}
+	return inj, nil
+}
+
+// Spec returns the bound spec (zero for a nil injection).
+func (inj *Injection) Spec() Spec {
+	if inj == nil {
+		return Spec{}
+	}
+	return inj.spec
+}
+
+// CoreAlive reports whether the core's pipelines and DMA engine are up.
+func (inj *Injection) CoreAlive(core int) bool {
+	return inj == nil || !inj.coreDead[core]
+}
+
+// MTPAlive reports whether one pipeline can run threads (false for
+// every MTP of a dead core).
+func (inj *Injection) MTPAlive(core, mtp int) bool {
+	if inj == nil {
+		return true
+	}
+	return !inj.coreDead[core] && !inj.mtpDead[core*inj.mtpsPerCore+mtp]
+}
+
+// SliceOccupancy is the bus-occupancy multiplier of one slice: 1 for a
+// healthy slice, 1/(1-derate) for a derated one (same bytes, slower
+// bus).
+func (inj *Injection) SliceOccupancy(home int) float64 {
+	if inj == nil || !inj.sliceSlow[home] {
+		return 1
+	}
+	return 1 / (1 - inj.spec.SliceDerate)
+}
+
+// NetDelay is the remote-latency multiplier (>= 1).
+func (inj *Injection) NetDelay() float64 {
+	if inj == nil {
+		return 1
+	}
+	return inj.spec.netFactor()
+}
+
+// Retransmits draws how many times the current remote read is lost and
+// resent (capped at maxRetransmits). With a zero loss rate it returns
+// 0 without consuming randomness, so loss-free injections replay the
+// exact event sequence of a healthy machine.
+func (inj *Injection) Retransmits() int {
+	if inj == nil || inj.spec.LossRate <= 0 {
+		return 0
+	}
+	n := 0
+	for n < maxRetransmits && inj.lossRNG.Float64() < inj.spec.LossRate {
+		n++
+	}
+	return n
+}
+
+// DeadCoreCount is how many cores the injection disabled.
+func (inj *Injection) DeadCoreCount() int {
+	if inj == nil {
+		return 0
+	}
+	return inj.spec.DeadCores
+}
+
+// DeadMTPCount is how many additional pipelines (on live cores) the
+// injection disabled.
+func (inj *Injection) DeadMTPCount() int {
+	if inj == nil {
+		return 0
+	}
+	return inj.spec.DeadMTPs
+}
+
+// DeratedSliceCount is how many DRAM slices run below full bandwidth.
+func (inj *Injection) DeratedSliceCount() int {
+	if inj == nil {
+		return 0
+	}
+	return inj.spec.DeratedSlices
+}
+
+// Summary describes the drawn injection for reports and logs, naming
+// the concrete units chosen by the seed.
+func (inj *Injection) Summary() string {
+	if inj == nil {
+		return "healthy (no faults injected)"
+	}
+	var parts []string
+	if n := idxList(inj.coreDead); n != "" {
+		parts = append(parts, "dead cores "+n)
+	}
+	if n := idxList(inj.mtpDead); n != "" {
+		parts = append(parts, "dead MTPs "+n)
+	}
+	if n := idxList(inj.sliceSlow); n != "" {
+		parts = append(parts, fmt.Sprintf("slices %s at %.0f%% bandwidth", n, 100*(1-inj.spec.SliceDerate)))
+	}
+	if f := inj.spec.netFactor(); f > 1 {
+		parts = append(parts, fmt.Sprintf("network %gx slower", f))
+	}
+	if inj.spec.LossRate > 0 {
+		parts = append(parts, fmt.Sprintf("%.1f%% remote-read loss", 100*inj.spec.LossRate))
+	}
+	if len(parts) == 0 {
+		return "healthy (no faults injected)"
+	}
+	return strings.Join(parts, "; ")
+}
+
+// idxList renders the set bits of a mask as "{1,4}" ("" when empty).
+func idxList(mask []bool) string {
+	var idx []int
+	for i, b := range mask {
+		if b {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return ""
+	}
+	sort.Ints(idx)
+	parts := make([]string, len(idx))
+	for i, v := range idx {
+		parts[i] = strconv.Itoa(v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,292 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"seed=3",
+		"dead-cores=1",
+		"seed=3,dead-cores=1,dead-mtps=2,derated-slices=2,slice-derate=0.5,net-delay=2,loss=0.01",
+		"loss=0.05,net-delay=3",    // order-insensitive input
+		" dead-cores = 1 , seed=2", // whitespace tolerated
+	}
+	for _, in := range cases {
+		spec, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		round, err := Parse(spec.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)): %v", in, err)
+		}
+		if round != spec {
+			t.Fatalf("round trip of %q: %+v != %+v", in, round, spec)
+		}
+	}
+}
+
+func TestParseNormalizesUnitNetFactor(t *testing.T) {
+	spec, err := Parse("net-delay=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.NetDelayFactor != 0 {
+		t.Fatalf("net-delay=1 not normalized to 0: %+v", spec)
+	}
+	if !spec.Empty() {
+		t.Fatal("net-delay=1 should be the empty spec")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, in := range []string{
+		"bogus-key=1",
+		"dead-cores",                      // not key=value
+		"dead-cores=-1",                   // negative count
+		"slice-derate=1",                  // derate must stay below 1
+		"slice-derate=nan",                // non-finite
+		"net-delay=0.5",                   // factor below 1
+		"net-delay=inf",                   // non-finite
+		"loss=1",                          // loss must stay below 1
+		"loss=-0.1",                       // negative rate
+		"seed=notanumber",                 // unparsable value
+		"dead-cores=99999999999999999999", // overflow
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", in)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want bool
+	}{
+		{Spec{}, true},
+		{Spec{Seed: 42}, true},          // a bare seed injects nothing
+		{Spec{DeratedSlices: 3}, true},  // no derate amount
+		{Spec{SliceDerate: 0.5}, true},  // no slices hit
+		{Spec{NetDelayFactor: 1}, true}, // unit factor
+		{Spec{DeadCores: 1}, false},
+		{Spec{DeadMTPs: 1}, false},
+		{Spec{DeratedSlices: 1, SliceDerate: 0.1}, false},
+		{Spec{NetDelayFactor: 2}, false},
+		{Spec{LossRate: 0.01}, false},
+	}
+	for _, c := range cases {
+		if got := c.spec.Empty(); got != c.want {
+			t.Errorf("Empty(%+v) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	base := DefaultProfile(9)
+	zero := base.Scale(0)
+	if !zero.Empty() || zero.Seed != 9 {
+		t.Fatalf("Scale(0) = %+v, want empty with preserved seed", zero)
+	}
+	if full := base.Scale(1); full != base.normalized() {
+		t.Fatalf("Scale(1) = %+v, want the profile itself %+v", full, base)
+	}
+	half := base.Scale(0.5)
+	if half.DeadCores != 1 || half.SliceDerate != base.SliceDerate/2 {
+		t.Fatalf("Scale(0.5) = %+v", half)
+	}
+	if half.NetDelayFactor != 1+0.5*(base.NetDelayFactor-1) {
+		t.Fatalf("Scale(0.5) net factor = %v", half.NetDelayFactor)
+	}
+	// Clamped outside [0, 1].
+	if got := base.Scale(2); got != base.normalized() {
+		t.Fatalf("Scale(2) = %+v, want clamp to 1", got)
+	}
+	if got := base.Scale(-1); !got.Empty() {
+		t.Fatalf("Scale(-1) = %+v, want clamp to 0", got)
+	}
+}
+
+func TestSeverity(t *testing.T) {
+	if s := (Spec{}).Severity(); s != 0 {
+		t.Fatalf("empty severity = %v, want 0", s)
+	}
+	base := DefaultProfile(1)
+	prev := 0.0
+	for _, f := range []float64{0.25, 0.5, 0.75, 1} {
+		s := base.Scale(f).Severity()
+		if s <= prev {
+			t.Fatalf("severity not increasing at f=%v: %v <= %v", f, s, prev)
+		}
+		if s < 0 || s > 1 {
+			t.Fatalf("severity %v outside [0,1]", s)
+		}
+		prev = s
+	}
+}
+
+func TestNewDeterministic(t *testing.T) {
+	spec := DefaultProfile(11)
+	a, err := New(spec, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(spec, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.coreDead, b.coreDead) ||
+		!reflect.DeepEqual(a.mtpDead, b.mtpDead) ||
+		!reflect.DeepEqual(a.sliceSlow, b.sliceSlow) {
+		t.Fatal("identical seed+spec drew different unit sets")
+	}
+	// Identical loss draws too.
+	for i := 0; i < 100; i++ {
+		if a.Retransmits() != b.Retransmits() {
+			t.Fatalf("loss draw %d diverged", i)
+		}
+	}
+	// A different seed picks different units (overwhelmingly likely for
+	// this profile on an 8-core machine; fixed seeds keep it stable).
+	c, err := New(DefaultProfile(12), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.coreDead, c.coreDead) && reflect.DeepEqual(a.sliceSlow, c.sliceSlow) {
+		t.Fatal("different seeds drew identical unit sets")
+	}
+}
+
+func TestNewEmptySpecIsNil(t *testing.T) {
+	inj, err := New(Spec{Seed: 5}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj != nil {
+		t.Fatalf("empty spec bound to %+v, want nil injection", inj)
+	}
+	// Nil-safety of the whole read API.
+	if !inj.CoreAlive(0) || !inj.MTPAlive(7, 3) {
+		t.Fatal("nil injection must report everything alive")
+	}
+	if inj.SliceOccupancy(0) != 1 || inj.NetDelay() != 1 || inj.Retransmits() != 0 {
+		t.Fatal("nil injection must be a no-op")
+	}
+	if inj.DeadCoreCount() != 0 || inj.DeadMTPCount() != 0 || inj.DeratedSliceCount() != 0 {
+		t.Fatal("nil injection reports dead units")
+	}
+	if !strings.Contains(inj.Summary(), "healthy") {
+		t.Fatalf("nil summary = %q", inj.Summary())
+	}
+}
+
+func TestNewShapeLimits(t *testing.T) {
+	for _, c := range []struct {
+		spec  Spec
+		cores int
+		mtps  int
+	}{
+		{Spec{DeadCores: 8}, 8, 4},                       // no live core
+		{Spec{DeadMTPs: 32}, 8, 4},                       // no live pipeline
+		{Spec{DeadCores: 4, DeadMTPs: 16}, 8, 4},         // combination kills everything
+		{Spec{DeratedSlices: 9, SliceDerate: 0.5}, 8, 4}, // more slices than exist
+		{Spec{DeadCores: 1}, 0, 4},                       // degenerate shape
+	} {
+		if _, err := New(c.spec, c.cores, c.mtps); err == nil {
+			t.Errorf("New(%+v, %d, %d) accepted, want error", c.spec, c.cores, c.mtps)
+		}
+	}
+}
+
+func TestInjectionCounts(t *testing.T) {
+	spec := Spec{Seed: 3, DeadCores: 2, DeadMTPs: 3, DeratedSlices: 4, SliceDerate: 0.5}
+	inj, err := New(spec, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadCores, deadMTPs, slow := 0, 0, 0
+	for c := 0; c < 8; c++ {
+		if !inj.CoreAlive(c) {
+			deadCores++
+		}
+		if inj.SliceOccupancy(c) > 1 {
+			slow++
+		}
+		for m := 0; m < 4; m++ {
+			if inj.CoreAlive(c) && !inj.MTPAlive(c, m) {
+				deadMTPs++
+			}
+		}
+	}
+	if deadCores != 2 || deadMTPs != 3 || slow != 4 {
+		t.Fatalf("drew %d dead cores, %d dead MTPs, %d slow slices; want 2, 3, 4", deadCores, deadMTPs, slow)
+	}
+	// A dead core's MTPs are all dead.
+	for c := 0; c < 8; c++ {
+		if inj.CoreAlive(c) {
+			continue
+		}
+		for m := 0; m < 4; m++ {
+			if inj.MTPAlive(c, m) {
+				t.Fatalf("MTP %d of dead core %d reported alive", m, c)
+			}
+		}
+	}
+	if occ := inj.SliceOccupancy(firstSlow(inj)); occ != 2 {
+		t.Fatalf("50%% derate occupancy = %v, want 2", occ)
+	}
+	sum := inj.Summary()
+	for _, want := range []string{"dead cores", "dead MTPs", "slices", "50% bandwidth"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary %q missing %q", sum, want)
+		}
+	}
+}
+
+func firstSlow(inj *Injection) int {
+	for i, s := range inj.sliceSlow {
+		if s {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestRetransmitsZeroLossDrawsNothing(t *testing.T) {
+	inj, err := New(Spec{Seed: 1, DeadCores: 1}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inj.lossRNG.Int63()
+	again, _ := New(Spec{Seed: 1, DeadCores: 1}, 8, 4)
+	for i := 0; i < 50; i++ {
+		if n := again.Retransmits(); n != 0 {
+			t.Fatalf("zero-loss retransmits = %d", n)
+		}
+	}
+	if after := again.lossRNG.Int63(); after != before {
+		t.Fatal("zero-loss Retransmits consumed randomness")
+	}
+}
+
+func TestRetransmitsBoundedAndNonTrivial(t *testing.T) {
+	inj, err := New(Spec{Seed: 1, LossRate: 0.5}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := 0
+	for i := 0; i < 1000; i++ {
+		n := inj.Retransmits()
+		if n < 0 || n > maxRetransmits {
+			t.Fatalf("retransmits %d outside [0, %d]", n, maxRetransmits)
+		}
+		saw += n
+	}
+	if saw == 0 {
+		t.Fatal("50% loss never retransmitted in 1000 draws")
+	}
+}

@@ -1,0 +1,51 @@
+package faults
+
+import "testing"
+
+// FuzzParse drives the spec decoder with arbitrary input: it must never
+// panic, every accepted spec must validate, and the canonical String
+// encoding must round-trip to the identical spec.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=3",
+		"seed=3,dead-cores=1,dead-mtps=2,derated-slices=2,slice-derate=0.5,net-delay=2,loss=0.01",
+		"dead-cores=1,derated-slices=2,slice-derate=0.5,net-delay=2,loss=0.02",
+		"net-delay=1",
+		"loss=0.999999",
+		"slice-derate=0.5",
+		"seed=-9223372036854775808",
+		" dead-cores = 1 ,, seed=2 ",
+		"dead-cores=1e9",
+		"loss=nan",
+		"net-delay=+Inf",
+		"key=value",
+		"=",
+		",,,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := Parse(in)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted invalid spec %+v: %v", in, spec, verr)
+		}
+		enc := spec.String()
+		round, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", in, enc, err)
+		}
+		if round != spec {
+			t.Fatalf("round trip of %q via %q: %+v != %+v", in, enc, round, spec)
+		}
+		// Scaling an accepted spec must stay in the valid domain.
+		for _, fr := range []float64{0, 0.5, 1} {
+			if verr := spec.Scale(fr).Validate(); verr != nil {
+				t.Fatalf("Scale(%v) of %+v left the domain: %v", fr, spec, verr)
+			}
+		}
+	})
+}

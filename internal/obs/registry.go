@@ -202,6 +202,23 @@ func (g *Gauge) Value() float64 {
 	return g.s.val
 }
 
+// GaugeVec is a gauge family with labels; series appear in the
+// exposition once touched via With.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("obs: GaugeVec needs at least one label")
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return &Gauge{f: v.f, s: v.f.with(values)}
+}
+
 // Histogram is one fixed-bucket histogram series.
 type Histogram struct {
 	f *family

@@ -65,6 +65,30 @@ func TestGaugeRender(t *testing.T) {
 	}
 }
 
+func TestGaugeVecRendersSortedSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("fault_severity", "Severity by run.", "run")
+	v.With("zz").Set(0.75)
+	v.With("aa").Set(0.25)
+	v.With("aa").Add(0.25) // same series
+	want := "# HELP fault_severity Severity by run.\n" +
+		"# TYPE fault_severity gauge\n" +
+		"fault_severity{run=\"aa\"} 0.5\n" +
+		"fault_severity{run=\"zz\"} 0.75\n"
+	if got := render(r); got != want {
+		t.Fatalf("render:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestGaugeVecNeedsLabels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label-less GaugeVec did not panic")
+		}
+	}()
+	NewRegistry().GaugeVec("bad", "no labels")
+}
+
 func TestHistogramRender(t *testing.T) {
 	r := NewRegistry()
 	h := r.HistogramVec("run_seconds", "Run duration.", []float64{0.001, 0.1, 25}, "experiment")

@@ -1,0 +1,154 @@
+package piuma
+
+import (
+	"testing"
+
+	"piumagcn/internal/faults"
+	"piumagcn/internal/sim"
+)
+
+func TestNewDegradedMachineEmptySpecIsHealthy(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, fs := range []*faults.Spec{nil, {}, {Seed: 42}} {
+		m, err := NewDegradedMachine(cfg, fs)
+		if err != nil {
+			t.Fatalf("spec %+v: %v", fs, err)
+		}
+		if m.Injection() != nil {
+			t.Fatalf("spec %+v bound a non-nil injection", fs)
+		}
+	}
+}
+
+func TestNewDegradedMachineRejectsBadSpec(t *testing.T) {
+	cfg := DefaultConfig() // 8 cores
+	for _, fs := range []faults.Spec{
+		{DeadCores: 8},
+		{DeratedSlices: 100, SliceDerate: 0.5},
+		{LossRate: 2},
+	} {
+		if _, err := NewDegradedMachine(cfg, &fs); err == nil {
+			t.Errorf("spec %+v accepted", fs)
+		}
+	}
+}
+
+// TestWorkerSlotsHealthyOrderMatchesLegacyMapping pins the slot
+// enumeration to the thread placement the kernels used before fault
+// injection existed: thread t ran on core t%Cores, MTP (t/Cores)%MTPs.
+func TestWorkerSlotsHealthyOrderMatchesLegacyMapping(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := m.WorkerSlots()
+	if len(slots) != cfg.Cores*cfg.MTPsPerCore {
+		t.Fatalf("healthy machine has %d slots, want %d", len(slots), cfg.Cores*cfg.MTPsPerCore)
+	}
+	for tIdx := 0; tIdx < cfg.WorkerThreads(); tIdx++ {
+		legacyCore := tIdx % cfg.Cores
+		legacyMTP := (tIdx / cfg.Cores) % cfg.MTPsPerCore
+		s := slots[tIdx%len(slots)]
+		if s.Core != legacyCore || s.MTP != legacyMTP {
+			t.Fatalf("thread %d: slot (%d,%d), legacy (%d,%d)", tIdx, s.Core, s.MTP, legacyCore, legacyMTP)
+		}
+	}
+}
+
+func TestWorkerSlotsSkipDeadUnits(t *testing.T) {
+	cfg := DefaultConfig()
+	fs := &faults.Spec{Seed: 5, DeadCores: 2, DeadMTPs: 3}
+	m, err := NewDegradedMachine(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := m.WorkerSlots()
+	want := (cfg.Cores-2)*cfg.MTPsPerCore - 3
+	if len(slots) != want {
+		t.Fatalf("degraded machine has %d slots, want %d", len(slots), want)
+	}
+	for _, s := range slots {
+		if !m.Injection().MTPAlive(s.Core, s.MTP) {
+			t.Fatalf("dead slot (%d,%d) enumerated", s.Core, s.MTP)
+		}
+	}
+}
+
+func TestAccessLatencyScalesOnlyTheNetworkPart(t *testing.T) {
+	cfg := DefaultConfig()
+	healthy, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewDegradedMachine(cfg, &faults.Spec{NetDelayFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local access: DRAM latency only, unchanged by network faults.
+	if got, want := slow.AccessLatency(0, 0), healthy.AccessLatency(0, 0); got != want {
+		t.Fatalf("local latency %v != healthy %v", got, want)
+	}
+	// Remote access: the network portion triples.
+	remoteHealthy := healthy.AccessLatency(0, 3) - cfg.DRAMLatency
+	remoteSlow := slow.AccessLatency(0, 3) - cfg.DRAMLatency
+	if remoteSlow != sim.Time(3*float64(remoteHealthy)) {
+		t.Fatalf("remote network latency %v, want 3x %v", remoteSlow, remoteHealthy)
+	}
+}
+
+func TestSliceTransferTimeDerating(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := NewDegradedMachine(cfg, &faults.Spec{Seed: 2, DeratedSlices: 3, SliceDerate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cfg.TransferTime(4096)
+	slowed, healthy := 0, 0
+	for home := 0; home < cfg.Cores; home++ {
+		switch got := m.SliceTransferTime(home, 4096); got {
+		case base:
+			healthy++
+		case 2 * base:
+			slowed++
+		default:
+			t.Fatalf("slice %d occupancy %v, want %v or %v", home, got, base, 2*base)
+		}
+	}
+	if slowed != 3 || healthy != cfg.Cores-3 {
+		t.Fatalf("%d slowed / %d healthy slices, want 3 / %d", slowed, healthy, cfg.Cores-3)
+	}
+}
+
+// TestRetransmitsExtendRemoteReads: with a very high loss rate, remote
+// blocking reads must complete strictly later than on a loss-free
+// machine, while local reads are untouched (loss models the network).
+func TestRetransmitsExtendRemoteReads(t *testing.T) {
+	cfg := DefaultConfig()
+	healthy, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := NewDegradedMachine(cfg, &faults.Spec{Seed: 7, LossRate: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := lossy.ReadBlockingAt(0, 0, 0, 64), healthy.ReadBlockingAt(0, 0, 0, 64); got != want {
+		t.Fatalf("local read on lossy machine %v != healthy %v", got, want)
+	}
+	slower := false
+	for i := 0; i < 20; i++ {
+		now := sim.Time(i) * 1000 * sim.Nanosecond
+		h := healthy.ReadBlockingAt(now, 0, 4, 64)
+		l := lossy.ReadBlockingAt(now, 0, 4, 64)
+		if l < h {
+			t.Fatalf("lossy remote read %v finished before healthy %v", l, h)
+		}
+		if l > h {
+			slower = true
+		}
+	}
+	if !slower {
+		t.Fatal("90% loss never extended a remote read in 20 tries")
+	}
+}

@@ -1,0 +1,98 @@
+package kernels
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"piumagcn/internal/faults"
+	"piumagcn/internal/obs"
+	"piumagcn/internal/piuma"
+)
+
+// TestFaultyZeroSeveritySpecIsGolden: a nil or empty fault spec must
+// reproduce the uninjected simulation exactly — every field of the
+// result, not just the headline numbers.
+func TestFaultyZeroSeveritySpecIsGolden(t *testing.T) {
+	g, _ := testGraphs(t)
+	cfg := piuma.DefaultConfig()
+	cfg.Cores = 4
+	for _, kind := range []Kind{KindDMA, KindLoopUnrolled} {
+		healthy := mustRun(t, kind, cfg, g, 64)
+		for _, fs := range []*faults.Spec{nil, {}, {Seed: 99}, {NetDelayFactor: 1}} {
+			got, err := RunFaulty(kind, cfg, fs, g, 64, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, healthy) {
+				t.Fatalf("%s with spec %+v diverged from healthy run:\n%+v\nvs\n%+v", kind, fs, got, healthy)
+			}
+		}
+	}
+}
+
+// TestFaultyDeterministic: identical cfg + spec + graph must reproduce
+// the identical simulation, down to byte-identical Chrome traces.
+func TestFaultyDeterministic(t *testing.T) {
+	g, _ := testGraphs(t)
+	cfg := piuma.DefaultConfig()
+	cfg.Cores = 4
+	spec := &faults.Spec{Seed: 21, DeadCores: 1, DeadMTPs: 2, DeratedSlices: 1, SliceDerate: 0.5, NetDelayFactor: 2, LossRate: 0.05}
+
+	run := func() (Result, []byte) {
+		prof := obs.NewProfiler(obs.ProfilerOptions{})
+		res, err := RunFaulty(KindDMA, cfg, spec, g, 64, prof.StartRun("degraded"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := prof.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	a, traceA := run()
+	b, traceB := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("nondeterministic degraded simulation:\n%+v\nvs\n%+v", a, b)
+	}
+	if !bytes.Equal(traceA, traceB) {
+		t.Fatal("identical seed+spec produced different Chrome traces")
+	}
+}
+
+// TestFaultySlowsTheKernel: a meaningfully degraded machine must lose
+// throughput — fewer pipelines, slower slices and a lossier network can
+// only extend the run.
+func TestFaultySlowsTheKernel(t *testing.T) {
+	g, _ := testGraphs(t)
+	cfg := piuma.DefaultConfig()
+	cfg.Cores = 4
+	healthy := mustRun(t, KindDMA, cfg, g, 64)
+	spec := faults.DefaultProfile(7)
+	spec.DeadCores = 1 // the default profile targets 8 cores; stay feasible on 4
+	spec.DeadMTPs = 1
+	spec.DeratedSlices = 2
+	degraded, err := RunFaulty(KindDMA, cfg, &spec, g, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Elapsed <= healthy.Elapsed {
+		t.Fatalf("degraded run (%v) not slower than healthy (%v)", degraded.Elapsed, healthy.Elapsed)
+	}
+	if degraded.GFLOPS >= healthy.GFLOPS {
+		t.Fatalf("degraded GFLOPS %.1f not below healthy %.1f", degraded.GFLOPS, healthy.GFLOPS)
+	}
+}
+
+// TestFaultyRejectsInfeasibleSpec: a spec that kills more hardware than
+// the config has must surface as an error, not a hang or panic.
+func TestFaultyRejectsInfeasibleSpec(t *testing.T) {
+	g, _ := testGraphs(t)
+	cfg := piuma.DefaultConfig()
+	cfg.Cores = 2
+	spec := &faults.Spec{DeadCores: 2}
+	if _, err := RunFaulty(KindDMA, cfg, spec, g, 64, nil); err == nil {
+		t.Fatal("infeasible spec accepted")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 
+	"piumagcn/internal/faults"
 	"piumagcn/internal/graph"
 	"piumagcn/internal/piuma"
 	"piumagcn/internal/sim"
@@ -110,6 +111,19 @@ func Run(kind Kind, cfg piuma.Config, a *graph.CSR, k int) (Result, error) {
 // flight spans, and per-thread phase spans all flow to tr. Tracing
 // never changes timing; a nil tr is exactly Run.
 func RunTraced(kind Kind, cfg piuma.Config, a *graph.CSR, k int, tr sim.Tracer) (Result, error) {
+	return RunFaulty(kind, cfg, nil, a, k, tr)
+}
+
+// RunFaulty is RunTraced on a machine degraded by the fault spec fs:
+// dead cores/MTPs shrink the worker-thread inventory, derated slices
+// stretch bus occupancy, and the network sees inflated latency plus
+// retransmit-on-loss. A nil or empty spec is exactly RunTraced — the
+// healthy code paths are untouched, so uninjected results stay
+// bit-identical. Identical cfg, spec and graph reproduce the identical
+// simulation (the spec's seed drives every random choice). The
+// random-walk microbenchmark (RunRandomWalkTraced) is out of scope for
+// fault injection; only the SpMM kernels run degraded.
+func RunFaulty(kind Kind, cfg piuma.Config, fs *faults.Spec, a *graph.CSR, k int, tr sim.Tracer) (Result, error) {
 	switch kind {
 	case KindLoopUnrolled, KindDMA, KindVertexDMA:
 	default:
@@ -121,7 +135,7 @@ func RunTraced(kind Kind, cfg piuma.Config, a *graph.CSR, k int, tr sim.Tracer) 
 	if err := a.Validate(); err != nil {
 		return Result{}, err
 	}
-	m, err := piuma.NewMachine(cfg)
+	m, err := piuma.NewDegradedMachine(cfg, fs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -205,7 +219,12 @@ func (r *runner) launch() {
 	if e == 0 {
 		return
 	}
-	threads := cfg.WorkerThreads()
+	// Threads spread over the live pipelines. On a healthy machine the
+	// slot list reproduces the legacy core-interleaved placement exactly
+	// (slot i is core i%Cores, MTP (i/Cores)%MTPsPerCore); fault
+	// injection shrinks it to the surviving pipelines.
+	slots := r.m.WorkerSlots()
+	threads := len(slots) * cfg.ThreadsPerMTP
 	if int64(threads) > e {
 		threads = int(e)
 	}
@@ -229,8 +248,8 @@ func (r *runner) launch() {
 			end = int64(t+1) * e / int64(threads)
 			row = -1 // resolved by binary search in threadBody
 		}
-		core := t % cfg.Cores // interleave threads across cores for balance
-		mtp := (t / cfg.Cores) % cfg.MTPsPerCore
+		slot := slots[t%len(slots)] // interleave threads across cores for balance
+		core, mtp := slot.Core, slot.MTP
 		r.m.Eng.Spawn(fmt.Sprintf("t%d", t), func(p *sim.Proc) {
 			r.threadBody(p, core, mtp, row, start, end)
 			arrive := p.Now()
@@ -377,12 +396,15 @@ func (r *runner) issueDMA(p *sim.Proc, core int, mtpSrv *sim.Server, block int64
 	// engine's service timeline advances by max(initiation, transfer).
 	home := r.rowHome(block)
 	payload := r.burst(r.featureRowBytes())
-	occupancy := cfg.TransferTime(payload)
+	// The engine streams the payload at the (possibly derated) slice
+	// bandwidth, so both its occupancy and the bus reservation route
+	// through the machine's fault-aware transfer time.
+	occupancy := r.m.SliceTransferTime(home, payload)
 	if occupancy < cfg.DMAInitiation {
 		occupancy = cfg.DMAInitiation
 	}
 	_, svcEnd := eng.Server.Reserve(p.Now(), occupancy)
-	_, busEnd := r.m.Slices[home].Reserve(p.Now(), cfg.TransferTime(payload))
+	_, busEnd := r.m.ReserveSlice(p.Now(), home, payload)
 	// The descriptor slot frees once the engine and the memory bus have
 	// streamed the payload; the remaining network/DRAM latency before
 	// the copy-add data lands is tolerated by the engine's internal

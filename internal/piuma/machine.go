@@ -3,6 +3,7 @@ package piuma
 import (
 	"fmt"
 
+	"piumagcn/internal/faults"
 	"piumagcn/internal/sim"
 )
 
@@ -29,6 +30,20 @@ type Machine struct {
 	// traced hot path allocates nothing.
 	tracer    sim.Tracer
 	netTracks []string
+
+	// inj, when non-nil, degrades the machine: dead cores/MTPs are
+	// excluded from WorkerSlots, derated slices stretch their bus
+	// occupancy, and remote accesses see inflated latency and
+	// retransmits. nil means healthy — the hot paths then take exactly
+	// the pre-fault-injection code paths, so healthy simulations remain
+	// bit-identical to machines built before this subsystem existed.
+	inj *faults.Injection
+}
+
+// Slot names one worker pipeline: MTP `MTP` of core `Core`.
+type Slot struct {
+	Core int
+	MTP  int
 }
 
 // DMAEngine models the per-core offload engine of Section IV-B: a FIFO
@@ -64,6 +79,49 @@ func NewMachine(cfg Config) (*Machine, error) {
 		}
 	}
 	return m, nil
+}
+
+// NewDegradedMachine builds a machine with the fault spec applied. A
+// nil or empty spec yields a machine identical to NewMachine(cfg); the
+// injection's seeded choices (which cores die, which slices slow down)
+// are drawn here, so two machines built from the same cfg and spec
+// behave identically event for event.
+func NewDegradedMachine(cfg Config, fs *faults.Spec) (*Machine, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if fs == nil {
+		return m, nil
+	}
+	inj, err := faults.New(*fs, cfg.Cores, cfg.MTPsPerCore)
+	if err != nil {
+		return nil, err
+	}
+	m.inj = inj
+	return m, nil
+}
+
+// Injection exposes the machine's fault injection (nil when healthy).
+func (m *Machine) Injection() *faults.Injection { return m.inj }
+
+// WorkerSlots enumerates the live (core, MTP) pipelines in the
+// canonical interleaved order — slot i on a healthy machine is core
+// i%Cores, MTP (i/Cores)%MTPsPerCore, exactly the thread placement the
+// kernels have always used, so a healthy machine's slot list reproduces
+// the legacy mapping verbatim. Dead pipelines are skipped.
+func (m *Machine) WorkerSlots() []Slot {
+	total := m.Cfg.Cores * m.Cfg.MTPsPerCore
+	slots := make([]Slot, 0, total)
+	for i := 0; i < total; i++ {
+		core := i % m.Cfg.Cores
+		mtp := (i / m.Cfg.Cores) % m.Cfg.MTPsPerCore
+		if m.inj != nil && !m.inj.MTPAlive(core, mtp) {
+			continue
+		}
+		slots = append(slots, Slot{Core: core, MTP: mtp})
+	}
+	return slots
 }
 
 // SetTracer attaches tr to the simulation engine and to every component
@@ -107,7 +165,14 @@ func (m *Machine) AccessLatency(from, home int) sim.Time {
 		if ring := m.Cfg.Cores - d; ring < d {
 			d = ring
 		}
-		lat += m.Cfg.RemoteBaseLatency + sim.Time(d)*m.Cfg.HopLatency
+		remote := m.Cfg.RemoteBaseLatency + sim.Time(d)*m.Cfg.HopLatency
+		// Fault injection scales only the network portion; local DRAM
+		// latency is the slice's own. DMA completions route through
+		// this too, so a slow network degrades both kernels.
+		if m.inj != nil {
+			remote = sim.Time(float64(remote) * m.inj.NetDelay())
+		}
+		lat += remote
 	}
 	return lat
 }
@@ -167,14 +232,46 @@ func (m *Machine) ReadBlocking(now sim.Time, core int, homeBlock int64, bytes in
 
 // ReadBlockingAt is ReadBlocking with an explicitly chosen home core.
 func (m *Machine) ReadBlockingAt(now sim.Time, core, home int, bytes int64) sim.Time {
-	_, end := m.Slices[home].Reserve(now, m.Cfg.TransferTime(bytes))
+	_, end := m.ReserveSlice(now, home, bytes)
 	comp := end + m.AccessLatency(core, home)
 	if m.tracer != nil && core != home {
 		// Network flight: the interval between the data leaving the
 		// remote slice bus and arriving at the requesting core.
 		m.tracer.Span(m.netTracks[core], "remote-read", end, comp)
 	}
+	if m.inj != nil && core != home {
+		// Lossy network: each retransmit re-reserves the slice bus and
+		// pays the flight latency again, back to back. Draws happen in
+		// deterministic simulation order (and not at all when the loss
+		// rate is zero), preserving reproducibility.
+		for i := m.inj.Retransmits(); i > 0; i-- {
+			_, end = m.ReserveSlice(comp, home, bytes)
+			retry := end + m.AccessLatency(core, home)
+			if m.tracer != nil {
+				m.tracer.Span(m.netTracks[core], "retransmit", end, retry)
+			}
+			comp = retry
+		}
+	}
 	return comp
+}
+
+// SliceTransferTime is the bus occupancy of an n-byte transfer on one
+// slice, including any fault-injected bandwidth derating.
+func (m *Machine) SliceTransferTime(home int, bytes int64) sim.Time {
+	t := m.Cfg.TransferTime(bytes)
+	if m.inj != nil {
+		t = sim.Time(float64(t) * m.inj.SliceOccupancy(home))
+	}
+	return t
+}
+
+// ReserveSlice reserves the home slice's bus for an n-byte transfer and
+// returns the reservation interval. All slice traffic (blocking reads,
+// async writes, DMA payload streaming) funnels through here so that
+// per-slice derating applies uniformly.
+func (m *Machine) ReserveSlice(now sim.Time, home int, bytes int64) (sim.Time, sim.Time) {
+	return m.Slices[home].Reserve(now, m.SliceTransferTime(home, bytes))
 }
 
 // WriteAsync models a fire-and-forget remote-atomic store: it consumes
@@ -186,7 +283,7 @@ func (m *Machine) WriteAsync(now sim.Time, homeBlock int64, bytes int64) {
 
 // WriteAsyncAt is WriteAsync with an explicitly chosen home core.
 func (m *Machine) WriteAsyncAt(now sim.Time, home int, bytes int64) {
-	m.Slices[home].Reserve(now, m.Cfg.TransferTime(bytes))
+	m.ReserveSlice(now, home, bytes)
 }
 
 // DeliveredBytes sums the bus-occupancy bytes across slices, derived

@@ -1,0 +1,92 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"piumagcn/internal/bench"
+	"piumagcn/internal/serve"
+)
+
+// fuzzServer is shared across fuzz iterations: building a worker pool
+// per input would dominate the fuzzing loop. The served experiment
+// completes instantly, so accepted submissions drain on their own, and
+// the tiny cache keeps the run table bounded no matter how many
+// distinct option sets the fuzzer invents.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *serve.Server
+)
+
+func fuzzHandler() http.Handler {
+	fuzzOnce.Do(func() {
+		fuzzSrv = serve.New(serve.Config{
+			Workers:    2,
+			QueueDepth: 64,
+			CacheCap:   8,
+			Experiments: []bench.Experiment{{
+				ID:    "instant",
+				Title: "instant experiment",
+				Run: func(ctx context.Context, o bench.Options) (*bench.Report, error) {
+					r := &bench.Report{ID: "instant", Title: "instant"}
+					r.Add("s", "b")
+					return r, nil
+				},
+			}},
+		})
+	})
+	return fuzzSrv.Handler()
+}
+
+// FuzzSubmitDecoding hammers POST /v1/runs with arbitrary bodies: the
+// handler must never panic, must answer every request with one of the
+// API's documented status codes, and must always produce a valid JSON
+// body.
+func FuzzSubmitDecoding(f *testing.F) {
+	for _, seed := range []string{
+		`{"experiment":"instant"}`,
+		`{"experiment":"instant","options":{"max_sim_edges":16384,"quick":true,"seed":7}}`,
+		`{"experiment":"instant","options":null}`,
+		`{"experiment":"instant","options":{"faults":"dead-cores=2,net-delay=3,loss=0.05"}}`,
+		`{"experiment":"instant","options":{"faults":"bogus"}}`,
+		`{"experiment":"instant","options":{"max_sim_edges":-5}}`,
+		`{"experiment":"nope"}`,
+		`{"experiment":""}`,
+		`{}`,
+		`null`,
+		`{"experiment":"instant","options":{"seed":9223372036854775807}}`,
+		`{"experiment":"instant","options":{"quick":"yes"}}`,
+		`{"experiment":"instant","options":[]}`,
+		`[]`,
+		`{"experiment":{"nested":true}}`,
+		"\x00\x01\x02",
+		`{"experiment":"instant","options":{"max_sim_edges":1e309}}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	allowed := map[int]bool{
+		http.StatusOK:                 true,
+		http.StatusAccepted:           true,
+		http.StatusBadRequest:         true,
+		http.StatusNotFound:           true,
+		http.StatusTooManyRequests:    true,
+		http.StatusServiceUnavailable: true,
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		h := fuzzHandler()
+		req := httptest.NewRequest("POST", "/v1/runs", strings.NewReader(string(body)))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if !allowed[w.Code] {
+			t.Fatalf("POST /v1/runs (%q) answered %d, outside the documented codes", body, w.Code)
+		}
+		if !json.Valid(w.Body.Bytes()) {
+			t.Fatalf("response to %q is not valid JSON: %q", body, w.Body.String())
+		}
+	})
+}

@@ -21,8 +21,10 @@ type RunResource struct {
 	Hits        int64         `json:"hits,omitempty"`
 	SubmittedAt *time.Time    `json:"submitted_at,omitempty"`
 	ElapsedMS   int64         `json:"elapsed_ms,omitempty"`
-	Error       string        `json:"error,omitempty"`
-	Report      *bench.Report `json:"report,omitempty"`
+	// Retries counts transient-failure re-executions the run consumed.
+	Retries int           `json:"retries,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	Report  *bench.Report `json:"report,omitempty"`
 }
 
 // ExperimentResource is one entry of the /v1/experiments listing.
@@ -41,6 +43,7 @@ func resourceFromView(v RunView, cached bool) RunResource {
 		Cached:     cached,
 		Hits:       v.Hits,
 		ElapsedMS:  v.Elapsed().Milliseconds(),
+		Retries:    v.Retries,
 		Error:      v.Err,
 		Report:     v.Report,
 	}

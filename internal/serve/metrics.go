@@ -34,6 +34,13 @@ type metrics struct {
 
 	simEvents *obs.CounterVec
 	simBusy   *obs.CounterVec
+
+	// Resilience families (registered after the simulation families so
+	// the pre-existing exposition prefix stays byte-identical).
+	timedOut      *obs.Counter
+	retries       *obs.Counter
+	panics        *obs.Counter
+	faultSeverity *obs.GaugeVec
 }
 
 // latencyBounds are the histogram bucket upper bounds in seconds.
@@ -62,6 +69,12 @@ func newMetrics() *metrics {
 
 		simEvents: reg.CounterVec("piumaserve_sim_events_total", "Simulation events processed, by experiment.", "experiment"),
 		simBusy:   reg.CounterVec("piumaserve_sim_busy_seconds_total", "Simulated component busy time, by component class.", "class"),
+
+		timedOut: reg.Counter("piumaserve_runs_timed_out_total", "Runs killed by the run timeout."),
+		retries:  reg.Counter("piumaserve_run_retries_total", "Transient-failure retries executed."),
+		panics:   reg.Counter("piumaserve_run_panics_total", "Experiment panics recovered by the worker pool."),
+		faultSeverity: reg.GaugeVec("piumaserve_fault_severity",
+			"Severity of the most recent fault-injected run, by experiment.", "experiment"),
 	}
 }
 
@@ -72,6 +85,22 @@ func (m *metrics) incCanceled()  { m.canceled.Inc() }
 func (m *metrics) incCacheHit()  { m.cacheHits.Inc() }
 func (m *metrics) incDedupHit()  { m.dedupHits.Inc() }
 func (m *metrics) incEvicted()   { m.evicted.Inc() }
+
+func (m *metrics) incRetried()  { m.retries.Inc() }
+func (m *metrics) incPanicked() { m.panics.Inc() }
+
+// incTimedOut counts a timeout kill. The legacy canceled counter keeps
+// covering timeouts too (its help text has always read "canceled or
+// timed out"), so dashboards built on it see no discontinuity; the new
+// counter splits the timeout share out.
+func (m *metrics) incTimedOut() {
+	m.canceled.Inc()
+	m.timedOut.Inc()
+}
+
+func (m *metrics) setFaultSeverity(experimentID string, sev float64) {
+	m.faultSeverity.With(experimentID).Set(sev)
+}
 
 func (m *metrics) incRejected(reason string) { m.rejected.With(reason).Inc() }
 

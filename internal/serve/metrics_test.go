@@ -34,6 +34,11 @@ func TestMetricsExpositionByteCompatible(t *testing.T) {
 	m.incRejected("queue_full")
 	m.incRejected("queue_full")
 	m.incRejected("draining")
+	m.incTimedOut() // bumps the legacy canceled counter too
+	m.incRetried()
+	m.incRetried()
+	m.incPanicked()
+	m.setFaultSeverity("ext-degraded", 0.5)
 
 	var b strings.Builder
 	m.render(&b, 4, true)
@@ -53,7 +58,7 @@ piumaserve_runs_completed_total 3
 piumaserve_runs_failed_total 1
 # HELP piumaserve_runs_canceled_total Runs canceled or timed out.
 # TYPE piumaserve_runs_canceled_total counter
-piumaserve_runs_canceled_total 1
+piumaserve_runs_canceled_total 2
 # HELP piumaserve_cache_hits_total Submissions answered from the result cache.
 # TYPE piumaserve_cache_hits_total counter
 piumaserve_cache_hits_total 2
@@ -107,7 +112,20 @@ piumaserve_run_duration_seconds_count{experiment="fig5"} 1
 # HELP piumaserve_sim_busy_seconds_total Simulated component busy time, by component class.
 # TYPE piumaserve_sim_busy_seconds_total counter
 `
-	if want := legacy + simFamilies; got != want {
+	resilienceFamilies := `# HELP piumaserve_runs_timed_out_total Runs killed by the run timeout.
+# TYPE piumaserve_runs_timed_out_total counter
+piumaserve_runs_timed_out_total 1
+# HELP piumaserve_run_retries_total Transient-failure retries executed.
+# TYPE piumaserve_run_retries_total counter
+piumaserve_run_retries_total 2
+# HELP piumaserve_run_panics_total Experiment panics recovered by the worker pool.
+# TYPE piumaserve_run_panics_total counter
+piumaserve_run_panics_total 1
+# HELP piumaserve_fault_severity Severity of the most recent fault-injected run, by experiment.
+# TYPE piumaserve_fault_severity gauge
+piumaserve_fault_severity{experiment="ext-degraded"} 0.5
+`
+	if want := legacy + simFamilies + resilienceFamilies; got != want {
 		t.Fatalf("exposition drifted from the legacy format.\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }

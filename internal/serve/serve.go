@@ -26,7 +26,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -58,7 +60,18 @@ type Config struct {
 	// hits; the oldest completions are evicted first (default 128).
 	CacheCap int
 	// RunTimeout bounds a single experiment execution (0 = unbounded).
+	// A run killed by this deadline reports the distinct "timeout"
+	// status (with a partial report of its checkpointed sweep points),
+	// not "canceled".
 	RunTimeout time.Duration
+	// MaxRetries is how many times a run failing with a transient error
+	// (bench.IsTransient) is re-executed before reporting failure. Each
+	// retry resumes from the run's checkpoint, so completed sweep points
+	// are not re-simulated (default 1; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry; subsequent
+	// retries back off exponentially with jitter (0 = retry immediately).
+	RetryBackoff time.Duration
 	// Experiments is the served registry (default bench.All()). Tests
 	// inject synthetic experiments here.
 	Experiments []bench.Experiment
@@ -74,6 +87,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheCap <= 0 {
 		c.CacheCap = 128
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 1
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
 	if c.Experiments == nil {
 		c.Experiments = bench.All()
 	}
@@ -84,15 +103,28 @@ func (c Config) withDefaults() Config {
 type Status string
 
 const (
-	StatusQueued   Status = "queued"
-	StatusRunning  Status = "running"
-	StatusDone     Status = "done"
-	StatusFailed   Status = "failed"
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+	// StatusCanceled marks a run aborted by a caller (explicit cancel,
+	// abandoned waiter, shutdown).
 	StatusCanceled Status = "canceled"
+	// StatusTimeout marks a run killed by Config.RunTimeout. It is
+	// distinct from StatusCanceled: nobody asked for the run to stop —
+	// the service did, and the run carries a partial report of whatever
+	// sweep points completed before the deadline.
+	StatusTimeout Status = "timeout"
 )
 
 func (st Status) terminal() bool {
-	return st == StatusDone || st == StatusFailed || st == StatusCanceled
+	return st == StatusDone || st == StatusFailed || st == StatusCanceled || st == StatusTimeout
+}
+
+// resubmittable reports whether a terminal run's record may be replaced
+// by a fresh submission (only successful runs are cached).
+func (st Status) resubmittable() bool {
+	return st == StatusFailed || st == StatusCanceled || st == StatusTimeout
 }
 
 // RunID is the content address of a submission: the same experiment
@@ -127,6 +159,7 @@ type run struct {
 	// runs canceled before execution.
 	profile   *obs.Profile
 	errMsg    string
+	retries   int
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -149,10 +182,12 @@ type RunView struct {
 	Status     Status
 	Report     *bench.Report
 	Err        string
-	Submitted  time.Time
-	Started    time.Time
-	Finished   time.Time
-	Hits       int64
+	// Retries counts transient-failure re-executions this run consumed.
+	Retries   int
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	Hits      int64
 }
 
 func (r *run) view() RunView {
@@ -163,6 +198,7 @@ func (r *run) view() RunView {
 		Status:     r.status,
 		Report:     r.report,
 		Err:        r.errMsg,
+		Retries:    r.retries,
 		Submitted:  r.submitted,
 		Started:    r.started,
 		Finished:   r.finished,
@@ -252,9 +288,10 @@ func (s *Server) Submit(experimentID string, o bench.Options, abandonable bool) 
 	id := RunID(experimentID, o)
 
 	s.mu.Lock()
-	if r, ok := s.runs[id]; ok && !(r.status == StatusFailed || r.status == StatusCanceled) {
-		// Queued/running: singleflight dedup. Done: cache hit. Failures
-		// are never cached — they fall through and resubmit below.
+	if r, ok := s.runs[id]; ok && !r.status.resubmittable() {
+		// Queued/running: singleflight dedup. Done: cache hit. Failed,
+		// canceled and timed-out runs are never cached — they fall
+		// through and resubmit below.
 		r.hits++
 		r.abandonable = r.abandonable && abandonable
 		if r.status == StatusDone {
@@ -412,7 +449,7 @@ func (s *Server) Cancel(id string) (RunView, error) {
 	}
 	r.cancel()
 	if r.status == StatusQueued {
-		s.finishLocked(r, nil, context.Canceled)
+		s.finishLocked(r, nil, context.Canceled, false)
 	}
 	v := r.view()
 	s.mu.Unlock()
@@ -458,7 +495,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case r := <-s.queue:
 			s.mu.Lock()
 			if !r.status.terminal() {
-				s.finishLocked(r, nil, context.Canceled)
+				s.finishLocked(r, nil, context.Canceled, false)
 			}
 			s.mu.Unlock()
 		default:
@@ -480,6 +517,19 @@ func (s *Server) worker() {
 	}
 }
 
+// PanicError is the terminal error of a run whose experiment panicked:
+// the recovered value plus the goroutine stack at the panic site. The
+// worker survives — a panicking experiment produces a failed run, not a
+// crashed service.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiment panicked: %v\n%s", e.Value, e.Stack)
+}
+
 func (s *Server) execute(r *run) {
 	s.mu.Lock()
 	if r.status != StatusQueued { // canceled while queued
@@ -492,31 +542,98 @@ func (s *Server) execute(r *run) {
 	s.metrics.incStarted()
 
 	ctx := r.ctx
+	var timeoutCtx context.Context
 	if s.cfg.RunTimeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.RunTimeout)
+		timeoutCtx, cancel = context.WithTimeout(ctx, s.cfg.RunTimeout)
+		ctx = timeoutCtx
 		defer cancel()
+	}
+	if spec, err := r.opts.FaultSpec(); err == nil && spec != nil {
+		s.metrics.setFaultSeverity(r.exp.ID, spec.Severity())
 	}
 	// Aggregation-only profiler: per-component utilization without span
 	// retention, so long-running services never accumulate trace memory.
 	// The experiment runs single-threadedly against it; the run.done
 	// close in finishLocked publishes the finished profile to readers.
+	// The checkpoint is shared across attempts: a retried experiment
+	// resumes past every sweep point an earlier attempt completed, and
+	// an interrupted run's checkpointed points back its partial report.
 	prof := obs.NewProfiler(obs.ProfilerOptions{MaxSpans: -1})
-	rep, err := r.exp.Run(obs.NewContext(ctx, prof), r.opts)
+	cp := bench.NewCheckpoint()
+	runCtx := bench.WithCheckpoint(obs.NewContext(ctx, prof), cp)
+
+	// attempt runs the experiment once, converting a panic into a
+	// *PanicError so one bad experiment cannot erode the worker pool.
+	attempt := func() (rep *bench.Report, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.incPanicked()
+				err = &PanicError{Value: v, Stack: string(debug.Stack())}
+			}
+		}()
+		return r.exp.Run(runCtx, r.opts)
+	}
+
+	rep, err := attempt()
+	for try := 1; err != nil && bench.IsTransient(err) && try <= s.cfg.MaxRetries && ctx.Err() == nil; try++ {
+		s.mu.Lock()
+		r.retries++
+		s.mu.Unlock()
+		s.metrics.incRetried()
+		if !s.backoff(ctx, try) {
+			break
+		}
+		rep, err = attempt()
+	}
 	if err == nil && rep == nil {
 		err = fmt.Errorf("experiment %s returned no report", r.exp.ID)
 	}
+	// A run killed mid-sweep still surfaces the points it completed.
+	if err != nil && rep == nil {
+		rep = cp.PartialReport(r.exp)
+	}
+	// Timeout vs cancel: the deadline context expired while the run's
+	// own context (user cancel / shutdown) is still live.
+	timedOut := timeoutCtx != nil &&
+		errors.Is(timeoutCtx.Err(), context.DeadlineExceeded) && r.ctx.Err() == nil
 
 	s.mu.Lock()
 	r.profile = prof.Profile()
-	s.finishLocked(r, rep, err)
+	s.finishLocked(r, rep, err, timedOut)
 	s.mu.Unlock()
 }
 
+// backoff sleeps before retry number `try` (exponential from
+// Config.RetryBackoff, with jitter), honoring ctx. It reports whether
+// the retry should proceed.
+func (s *Server) backoff(ctx context.Context, try int) bool {
+	d := s.cfg.RetryBackoff
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	if try > 1 && try < 63 {
+		d <<= try - 1
+	}
+	// Full jitter on the upper half keeps retry herds from aligning.
+	d = d/2 + rand.N(d/2+1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // finishLocked moves a run to its terminal status, closes done, frees
-// its context, records metrics and applies cache eviction. Callers
-// hold s.mu.
-func (s *Server) finishLocked(r *run, rep *bench.Report, err error) {
+// its context, records metrics and applies cache eviction. timedOut
+// distinguishes a RunTimeout kill from a caller cancel — both surface
+// as context errors from the experiment, but they are different facts
+// and report different statuses. Interrupted and failed runs keep any
+// partial report their checkpoint produced. Callers hold s.mu.
+func (s *Server) finishLocked(r *run, rep *bench.Report, err error, timedOut bool) {
 	r.finished = time.Now()
 	switch {
 	case err == nil:
@@ -524,12 +641,19 @@ func (s *Server) finishLocked(r *run, rep *bench.Report, err error) {
 		r.report = rep
 		s.metrics.observeCompleted(r.exp.ID, r.finished.Sub(r.started))
 		s.metrics.recordProfile(r.exp.ID, r.profile)
+	case timedOut:
+		r.status = StatusTimeout
+		r.report = rep
+		r.errMsg = fmt.Sprintf("run exceeded the %v timeout: %v", s.cfg.RunTimeout, err)
+		s.metrics.incTimedOut()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		r.status = StatusCanceled
+		r.report = rep
 		r.errMsg = err.Error()
 		s.metrics.incCanceled()
 	default:
 		r.status = StatusFailed
+		r.report = rep
 		r.errMsg = err.Error()
 		s.metrics.incFailed()
 	}
