@@ -24,6 +24,15 @@
 // SIGTERM/SIGINT drains gracefully: new submissions get 503, in-flight
 // simulations are canceled, and the process exits once the worker pool
 // and HTTP listener have stopped (bounded by -shutdown-grace).
+//
+// With -data-dir the service is crash-safe: run state is journaled to
+// <dir>/runs.wal (fsync policy set by -fsync), completed sweep points
+// are persisted as they land, and a restart — graceful or kill -9 —
+// replays the journal: cached reports come back, and runs that were in
+// flight are requeued and resume past every persisted point. A corrupt
+// journal tail (torn write, bit rot) is quarantined to runs.wal.quarantine
+// and the service boots from the valid prefix. Without -data-dir the
+// service is fully in-memory, exactly as before.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"time"
 
 	"piumagcn/internal/serve"
+	"piumagcn/internal/store"
 )
 
 func main() {
@@ -51,8 +61,25 @@ func main() {
 		maxRetries = flag.Int("max-retries", 1, "retries for transient-error run failures, resuming from the run checkpoint (negative disables)")
 		retryWait  = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first retry (exponential with jitter; 0 = immediate)")
 		grace      = flag.Duration("shutdown-grace", 30*time.Second, "drain deadline after SIGTERM")
+		dataDir    = flag.String("data-dir", "", "journal run state here and recover it on restart (empty = in-memory only)")
+		fsync      = flag.String("fsync", "always", "journal fsync policy: always, interval, or never")
 	)
 	flag.Parse()
+
+	var st *store.Store
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("piumaserve: %v", err)
+		}
+		st, err = store.Open(*dataDir, policy)
+		if err != nil {
+			log.Fatalf("piumaserve: opening data dir: %v", err)
+		}
+		defer st.Close()
+	} else if *fsync != "always" {
+		log.Fatalf("piumaserve: -fsync has no effect without -data-dir")
+	}
 
 	srv := serve.New(serve.Config{
 		Workers:      *workers,
@@ -61,7 +88,16 @@ func main() {
 		RunTimeout:   *runTimeout,
 		MaxRetries:   *maxRetries,
 		RetryBackoff: *retryWait,
+		Store:        st,
 	})
+	if rec := srv.Recovery(); rec.Enabled {
+		log.Printf("piumaserve: recovered %d run(s) from %s (%d requeued, %d cached reports, %d skipped; %d records, %d malformed, %d corrupt tail bytes quarantined)",
+			rec.RestoredRuns, *dataDir, rec.RequeuedRuns, rec.CachedReports, rec.SkippedRuns,
+			rec.Records, rec.Malformed, rec.QuarantinedBytes)
+		if rec.QuarantinePath != "" {
+			log.Printf("piumaserve: corrupt journal tail preserved at %s", rec.QuarantinePath)
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -92,6 +128,11 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "piumaserve: http shutdown: %v\n", err)
+	}
+	if st != nil {
+		sum := srv.DrainSummary()
+		log.Printf("piumaserve: drained (%d queued run(s) drained, %d in-flight run(s) preserved for resume, %d record(s) journaled, journal synced at %d bytes)",
+			sum.QueuedDrained, sum.PreservedRuns, sum.JournaledRecords, sum.JournalBytes)
 	}
 	log.Printf("piumaserve: stopped")
 }

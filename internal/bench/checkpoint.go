@@ -27,6 +27,9 @@ type Checkpoint struct {
 	points map[string]checkpointPoint
 	order  []string
 	reused int
+	// observer, when set, receives the serialized form of each newly
+	// completed point (see SetObserver in checkpoint_codec.go).
+	observer func(Point)
 }
 
 type checkpointPoint struct {
@@ -72,17 +75,22 @@ func (c *Checkpoint) Lookup(label string) (any, bool) {
 // Complete records one finished sweep point. summary is a short
 // human-readable digest used when listing checkpointed points in a
 // partial report. Re-completing a label overwrites the value but keeps
-// its original position.
+// its original position. The observer (if any) is notified outside the
+// lock, on the completing goroutine.
 func (c *Checkpoint) Complete(label string, value any, summary string) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, seen := c.points[label]; !seen {
 		c.order = append(c.order, label)
 	}
 	c.points[label] = checkpointPoint{value: value, summary: summary}
+	observer := c.observer
+	c.mu.Unlock()
+	if observer != nil {
+		observer(encodePoint(label, value, summary))
+	}
 }
 
 // Len returns the number of completed points.

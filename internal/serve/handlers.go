@@ -3,11 +3,17 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"piumagcn/internal/bench"
 	"piumagcn/internal/obs"
 )
+
+// maxSubmitBytes bounds the POST /v1/runs body. A legitimate submit
+// request is a couple hundred bytes; anything near the cap is abuse,
+// rejected with 413 before the decoder buffers it.
+const maxSubmitBytes = 1 << 20
 
 // Handler returns the service's HTTP API:
 //
@@ -48,9 +54,16 @@ type submitRequest struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
 	defaults := bench.DefaultOptions()
 	req := submitRequest{Options: &defaults}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
 		return
 	}
@@ -173,5 +186,5 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.render(w, s.QueueDepth(), s.Draining())
+	s.metrics.render(w, s.QueueDepth(), s.Draining(), s.JournalBytes())
 }

@@ -22,9 +22,14 @@ type RunResource struct {
 	SubmittedAt *time.Time    `json:"submitted_at,omitempty"`
 	ElapsedMS   int64         `json:"elapsed_ms,omitempty"`
 	// Retries counts transient-failure re-executions the run consumed.
-	Retries int           `json:"retries,omitempty"`
-	Error   string        `json:"error,omitempty"`
-	Report  *bench.Report `json:"report,omitempty"`
+	Retries int `json:"retries,omitempty"`
+	// CheckpointPoints is how many sweep points the run has completed
+	// (journal-recovered points included); ReusedPoints is how many a
+	// resumed or retried execution skipped re-simulating.
+	CheckpointPoints int           `json:"checkpoint_points,omitempty"`
+	ReusedPoints     int           `json:"reused_points,omitempty"`
+	Error            string        `json:"error,omitempty"`
+	Report           *bench.Report `json:"report,omitempty"`
 }
 
 // ExperimentResource is one entry of the /v1/experiments listing.
@@ -44,8 +49,12 @@ func resourceFromView(v RunView, cached bool) RunResource {
 		Hits:       v.Hits,
 		ElapsedMS:  v.Elapsed().Milliseconds(),
 		Retries:    v.Retries,
-		Error:      v.Err,
-		Report:     v.Report,
+
+		CheckpointPoints: v.CheckpointPoints,
+		ReusedPoints:     v.ReusedPoints,
+
+		Error:  v.Err,
+		Report: v.Report,
 	}
 	if !v.Submitted.IsZero() {
 		t := v.Submitted

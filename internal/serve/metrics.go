@@ -41,6 +41,13 @@ type metrics struct {
 	retries       *obs.Counter
 	panics        *obs.Counter
 	faultSeverity *obs.GaugeVec
+
+	// Durability families (appended after the resilience families, same
+	// byte-compatibility discipline).
+	recovered      *obs.Counter
+	journalBytes   *obs.Gauge
+	quarantined    *obs.Counter
+	journalAppends *obs.Counter
 }
 
 // latencyBounds are the histogram bucket upper bounds in seconds.
@@ -75,6 +82,13 @@ func newMetrics() *metrics {
 		panics:   reg.Counter("piumaserve_run_panics_total", "Experiment panics recovered by the worker pool."),
 		faultSeverity: reg.GaugeVec("piumaserve_fault_severity",
 			"Severity of the most recent fault-injected run, by experiment.", "experiment"),
+
+		recovered:    reg.Counter("piumaserve_recovered_runs_total", "Runs restored from the journal at startup."),
+		journalBytes: reg.Gauge("piumaserve_journal_bytes", "Current size of the run journal."),
+		quarantined: reg.Counter("piumaserve_quarantined_records_total",
+			"Malformed journal records skipped at startup, plus one per quarantined corrupt tail."),
+		journalAppends: reg.Counter("piumaserve_journal_append_errors_total",
+			"Lifecycle records that failed to reach the journal."),
 	}
 }
 
@@ -104,6 +118,10 @@ func (m *metrics) setFaultSeverity(experimentID string, sev float64) {
 
 func (m *metrics) incRejected(reason string) { m.rejected.With(reason).Inc() }
 
+func (m *metrics) addRecovered(n int)     { m.recovered.Add(float64(n)) }
+func (m *metrics) addQuarantined(n int)   { m.quarantined.Add(float64(n)) }
+func (m *metrics) incJournalAppendError() { m.journalAppends.Inc() }
+
 func (m *metrics) observeCompleted(experimentID string, d time.Duration) {
 	m.completed.Inc()
 	m.durations.With(experimentID).Observe(d.Seconds())
@@ -125,12 +143,13 @@ func (m *metrics) recordProfile(experimentID string, p *obs.Profile) {
 
 // render writes the Prometheus text exposition of every metric plus
 // the live gauges supplied by the server.
-func (m *metrics) render(w io.Writer, queueDepth int, draining bool) {
+func (m *metrics) render(w io.Writer, queueDepth int, draining bool, journalBytes int64) {
 	m.queueDepth.Set(float64(queueDepth))
 	d := 0.0
 	if draining {
 		d = 1
 	}
 	m.draining.Set(d)
+	m.journalBytes.Set(float64(journalBytes))
 	m.reg.Render(w)
 }

@@ -39,9 +39,12 @@ func TestMetricsExpositionByteCompatible(t *testing.T) {
 	m.incRetried()
 	m.incPanicked()
 	m.setFaultSeverity("ext-degraded", 0.5)
+	m.addRecovered(3)
+	m.addQuarantined(2)
+	m.incJournalAppendError()
 
 	var b strings.Builder
-	m.render(&b, 4, true)
+	m.render(&b, 4, true, 4096)
 	got := b.String()
 
 	legacy := `# HELP piumaserve_runs_submitted_total Runs accepted into the queue.
@@ -125,7 +128,20 @@ piumaserve_run_panics_total 1
 # TYPE piumaserve_fault_severity gauge
 piumaserve_fault_severity{experiment="ext-degraded"} 0.5
 `
-	if want := legacy + simFamilies + resilienceFamilies; got != want {
+	durabilityFamilies := `# HELP piumaserve_recovered_runs_total Runs restored from the journal at startup.
+# TYPE piumaserve_recovered_runs_total counter
+piumaserve_recovered_runs_total 3
+# HELP piumaserve_journal_bytes Current size of the run journal.
+# TYPE piumaserve_journal_bytes gauge
+piumaserve_journal_bytes 4096
+# HELP piumaserve_quarantined_records_total Malformed journal records skipped at startup, plus one per quarantined corrupt tail.
+# TYPE piumaserve_quarantined_records_total counter
+piumaserve_quarantined_records_total 2
+# HELP piumaserve_journal_append_errors_total Lifecycle records that failed to reach the journal.
+# TYPE piumaserve_journal_append_errors_total counter
+piumaserve_journal_append_errors_total 1
+`
+	if want := legacy + simFamilies + resilienceFamilies + durabilityFamilies; got != want {
 		t.Fatalf("exposition drifted from the legacy format.\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
@@ -144,7 +160,7 @@ func TestRecordProfileAggregatesSimMetrics(t *testing.T) {
 	m.recordProfile("fig5", nil) // nil profile must be a no-op
 
 	var b strings.Builder
-	m.render(&b, 0, false)
+	m.render(&b, 0, false, 0)
 	out := b.String()
 	for _, want := range []string{
 		`piumaserve_sim_events_total{experiment="fig5"} 2`,

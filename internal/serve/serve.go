@@ -36,6 +36,7 @@ import (
 
 	"piumagcn/internal/bench"
 	"piumagcn/internal/obs"
+	"piumagcn/internal/store"
 )
 
 // Sentinel errors; the HTTP handlers map them onto status codes.
@@ -75,6 +76,18 @@ type Config struct {
 	// Experiments is the served registry (default bench.All()). Tests
 	// inject synthetic experiments here.
 	Experiments []bench.Experiment
+	// Store, when non-nil, makes the service crash-safe: every run state
+	// transition is journaled through it, completed sweep points are
+	// persisted as they land, and New replays the journal — repopulating
+	// the result cache and requeueing runs that were in flight when the
+	// previous process died. Nil keeps the service fully in-memory,
+	// byte-for-byte identical to its pre-durability behavior.
+	Store *store.Store
+	// CompactBytes triggers snapshot-and-truncate journal compaction
+	// once the journal grows past this size (default 4 MiB; negative
+	// disables size-triggered compaction — the startup compaction after
+	// replay always runs).
+	CompactBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Experiments == nil {
 		c.Experiments = bench.All()
+	}
+	if c.CompactBytes == 0 {
+		c.CompactBytes = 4 << 20
 	}
 	return c
 }
@@ -152,6 +168,11 @@ type run struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// cp is the run's checkpoint, created at submission (or restored
+	// from the journal at startup) so recovered runs resume past every
+	// sweep point the previous boot completed.
+	cp *bench.Checkpoint
+
 	status Status
 	report *bench.Report
 	// profile aggregates the run's event-level simulations (per-
@@ -188,6 +209,11 @@ type RunView struct {
 	Started   time.Time
 	Finished  time.Time
 	Hits      int64
+	// CheckpointPoints is how many sweep points the run has completed so
+	// far (including points recovered from the journal); ReusedPoints is
+	// how many of them a resumed or retried execution skipped.
+	CheckpointPoints int
+	ReusedPoints     int
 }
 
 func (r *run) view() RunView {
@@ -203,6 +229,9 @@ func (r *run) view() RunView {
 		Started:    r.started,
 		Finished:   r.finished,
 		Hits:       r.hits,
+
+		CheckpointPoints: r.cp.Len(),
+		ReusedPoints:     r.cp.Reused(),
 	}
 }
 
@@ -231,8 +260,14 @@ type Server struct {
 	runs      map[string]*run
 	completed []string // terminal run IDs in completion order, for eviction
 	draining  bool
+	// preserved counts draining-canceled runs whose terminal transition
+	// was deliberately NOT journaled, so the next boot replays them as
+	// in-flight and resumes them (see finishLocked).
+	preserved int
+	drain     DrainSummary
 
-	metrics *metrics
+	recovery RecoveryStats
+	metrics  *metrics
 }
 
 // New builds a Server and starts its worker pool.
@@ -252,6 +287,10 @@ func New(cfg Config) *Server {
 		runs:    make(map[string]*run),
 		metrics: newMetrics(),
 	}
+	// Replay the journal before the workers start, so recovered
+	// in-flight runs sit in the queue (in their journaled order) when
+	// the pool spins up.
+	s.restore()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -315,6 +354,7 @@ func (s *Server) Submit(experimentID string, o bench.Options, abandonable bool) 
 		opts:        o,
 		ctx:         rctx,
 		cancel:      cancel,
+		cp:          bench.NewCheckpoint(),
 		status:      StatusQueued,
 		submitted:   time.Now(),
 		abandonable: abandonable,
@@ -325,6 +365,7 @@ func (s *Server) Submit(experimentID string, o bench.Options, abandonable bool) 
 		s.dropTerminalLocked(id) // a failed/canceled record is being replaced
 		s.runs[id] = r
 		s.metrics.incSubmitted()
+		s.journalAccepted(r)
 		v := r.view()
 		s.mu.Unlock()
 		return v, false, nil
@@ -469,8 +510,12 @@ func (s *Server) QueueDepth() int { return len(s.queue) }
 // Shutdown drains the service: new submissions are refused with
 // ErrDraining, in-flight experiment contexts are canceled (the bench
 // runners notice between sweep points), workers exit, and any runs
-// still queued are marked canceled. It returns ctx.Err() if the pool
-// does not drain in time.
+// still queued are marked canceled. With a Store configured, the
+// drained runs' terminal transitions are NOT journaled — they replay
+// as in-flight on the next boot and resume from their checkpoints —
+// and the journal is flushed to disk before Shutdown returns (see
+// DrainSummary for the one-line accounting). It returns ctx.Err() if
+// the pool does not drain in time.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -490,18 +535,59 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	// Whatever is still sitting in the queue will never run.
+	queued := 0
 	for {
 		select {
 		case r := <-s.queue:
+			queued++
 			s.mu.Lock()
 			if !r.status.terminal() {
 				s.finishLocked(r, nil, context.Canceled, false)
 			}
 			s.mu.Unlock()
+			continue
 		default:
-			return err
 		}
+		break
 	}
+
+	sum := DrainSummary{QueuedDrained: queued}
+	if st := s.cfg.Store; st != nil {
+		if serr := st.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+		sum.JournaledRecords = st.AppendedRecords()
+		sum.JournalBytes = st.SizeBytes()
+	}
+	s.mu.Lock()
+	sum.PreservedRuns = s.preserved
+	s.drain = sum
+	s.mu.Unlock()
+	return err
+}
+
+// DrainSummary accounts for what Shutdown did, for the operator's
+// one-line drain log.
+type DrainSummary struct {
+	// QueuedDrained is how many accepted-but-never-started runs the
+	// shutdown pulled off the queue.
+	QueuedDrained int
+	// PreservedRuns is how many non-terminal runs were left in-flight in
+	// the journal (no terminal record), to be resumed by the next boot.
+	PreservedRuns int
+	// JournaledRecords is how many lifecycle records this process
+	// appended over its lifetime; JournalBytes is the journal's final
+	// synced size. Both are zero without a Store.
+	JournaledRecords int64
+	JournalBytes     int64
+}
+
+// DrainSummary returns the accounting of a completed Shutdown (the
+// zero value before Shutdown has run).
+func (s *Server) DrainSummary() DrainSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drain
 }
 
 // worker executes queued runs until the base context is canceled.
@@ -538,6 +624,7 @@ func (s *Server) execute(r *run) {
 	}
 	r.status = StatusRunning
 	r.started = time.Now()
+	s.journal(store.Started(r.id))
 	s.mu.Unlock()
 	s.metrics.incStarted()
 
@@ -559,8 +646,12 @@ func (s *Server) execute(r *run) {
 	// The checkpoint is shared across attempts: a retried experiment
 	// resumes past every sweep point an earlier attempt completed, and
 	// an interrupted run's checkpointed points back its partial report.
+	// Recovered runs arrive here with the previous boot's points already
+	// restored. The observer journals each fresh point the moment it
+	// completes, so a crash loses at most the point in flight.
 	prof := obs.NewProfiler(obs.ProfilerOptions{MaxSpans: -1})
-	cp := bench.NewCheckpoint()
+	cp := r.cp
+	cp.SetObserver(func(p bench.Point) { s.journalPoint(r.id, p) })
 	runCtx := bench.WithCheckpoint(obs.NewContext(ctx, prof), cp)
 
 	// attempt runs the experiment once, converting a panic into a
@@ -602,6 +693,7 @@ func (s *Server) execute(r *run) {
 	r.profile = prof.Profile()
 	s.finishLocked(r, rep, err, timedOut)
 	s.mu.Unlock()
+	s.maybeCompact()
 }
 
 // backoff sleeps before retry number `try` (exponential from
@@ -657,9 +749,29 @@ func (s *Server) finishLocked(r *run, rep *bench.Report, err error, timedOut boo
 		r.errMsg = err.Error()
 		s.metrics.incFailed()
 	}
+	// Journal the terminal transition — except for draining-triggered
+	// cancellations, which are deliberately left non-terminal in the
+	// journal so the next boot replays them as in-flight and resumes
+	// them from their checkpointed points (the graceful-shutdown twin of
+	// kill -9 recovery).
+	switch {
+	case r.status == StatusDone:
+		if raw, jerr := json.Marshal(rep); jerr == nil {
+			s.journal(store.Completed(r.id, raw))
+		}
+	case r.status == StatusCanceled && s.draining:
+		s.preserved++
+	default:
+		s.journal(store.Failed(r.id, string(r.status), r.errMsg))
+	}
 	close(r.done)
 	r.cancel()
 	s.completed = append(s.completed, r.id)
+	s.evictLocked()
+}
+
+// evictLocked applies the cache-capacity bound to the completion list.
+func (s *Server) evictLocked() {
 	for len(s.completed) > s.cfg.CacheCap {
 		evict := s.completed[0]
 		s.completed = s.completed[1:]

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// RecordType enumerates the run-lifecycle journal entries. The string
+// values are the wire encoding; renaming one invalidates existing
+// journals.
+type RecordType string
+
+const (
+	// RecordAccepted: a run entered the queue. Carries the experiment ID
+	// and the canonical options JSON (the same encoding the run's
+	// content address is derived from).
+	RecordAccepted RecordType = "accepted"
+	// RecordStarted: a worker picked the run up.
+	RecordStarted RecordType = "started"
+	// RecordCheckpoint: one sweep point completed. Point is an encoded
+	// bench checkpoint point, opaque to the store.
+	RecordCheckpoint RecordType = "checkpoint"
+	// RecordCompleted: the run finished successfully. Report is the full
+	// report JSON so the result cache survives a restart.
+	RecordCompleted RecordType = "completed"
+	// RecordFailed: the run reached a non-success terminal status
+	// (failed / canceled / timeout, in Status).
+	RecordFailed RecordType = "failed"
+)
+
+// Record is one run-lifecycle journal entry. The store frames, sums and
+// replays records; the Options, Point and Report payloads are opaque
+// JSON owned by the layers above (serve and bench).
+type Record struct {
+	Type       RecordType      `json:"type"`
+	RunID      string          `json:"run_id"`
+	Experiment string          `json:"experiment,omitempty"`
+	Options    json.RawMessage `json:"options,omitempty"`
+	Point      json.RawMessage `json:"point,omitempty"`
+	Status     string          `json:"status,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Report     json.RawMessage `json:"report,omitempty"`
+}
+
+// Accepted builds the queue-entry record.
+func Accepted(runID, experiment string, options json.RawMessage) Record {
+	return Record{Type: RecordAccepted, RunID: runID, Experiment: experiment, Options: options}
+}
+
+// Started builds the worker-pickup record.
+func Started(runID string) Record {
+	return Record{Type: RecordStarted, RunID: runID}
+}
+
+// CheckpointPoint builds the completed-sweep-point record.
+func CheckpointPoint(runID string, point json.RawMessage) Record {
+	return Record{Type: RecordCheckpoint, RunID: runID, Point: point}
+}
+
+// Completed builds the success terminal record.
+func Completed(runID string, report json.RawMessage) Record {
+	return Record{Type: RecordCompleted, RunID: runID, Status: "done", Report: report}
+}
+
+// Failed builds the non-success terminal record; status distinguishes
+// failed, canceled and timeout.
+func Failed(runID, status, errMsg string) Record {
+	return Record{Type: RecordFailed, RunID: runID, Status: status, Error: errMsg}
+}
+
+// Validate rejects records that could not be replayed.
+func (r Record) Validate() error {
+	if r.RunID == "" {
+		return fmt.Errorf("store: %s record without a run ID", r.Type)
+	}
+	switch r.Type {
+	case RecordAccepted:
+		if r.Experiment == "" {
+			return fmt.Errorf("store: accepted record for %s without an experiment", r.RunID)
+		}
+	case RecordStarted, RecordCompleted:
+	case RecordCheckpoint:
+		if len(r.Point) == 0 {
+			return fmt.Errorf("store: checkpoint record for %s without a point", r.RunID)
+		}
+	case RecordFailed:
+		if r.Status == "" {
+			return fmt.Errorf("store: failed record for %s without a status", r.RunID)
+		}
+	default:
+		return fmt.Errorf("store: unknown record type %q", r.Type)
+	}
+	return nil
+}
+
+// Encode renders the record's journal payload (deterministic: struct
+// fields marshal in declaration order).
+func (r Record) Encode() ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(r)
+}
+
+// DecodeRecord parses one journal payload.
+func DecodeRecord(b []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Record{}, fmt.Errorf("store: undecodable record: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}

@@ -1,0 +1,267 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalCorruptionRecovery is the failure-mode table of the
+// record journal: truncated tails, bit flips, bad length prefixes and
+// an empty file must each recover the valid prefix byte-
+// deterministically and quarantine the rest — never refuse to open.
+func TestJournalCorruptionRecovery(t *testing.T) {
+	records := [][]byte{
+		[]byte(`{"type":"accepted","run_id":"r-1"}`),
+		[]byte(`{"type":"started","run_id":"r-1"}`),
+		[]byte(`{"type":"completed","run_id":"r-1"}`),
+	}
+	var clean []byte
+	for _, r := range records {
+		clean = AppendFrame(clean, r)
+	}
+	secondEnd := int64(2*frameHeaderBytes + len(records[0]) + len(records[1]))
+
+	cases := []struct {
+		name       string
+		corrupt    func([]byte) []byte
+		wantValid  int    // records recovered
+		wantOffset int64  // where the valid prefix ends
+		wantReason string // Tail.Reason; "" = clean
+	}{
+		{
+			name:       "clean",
+			corrupt:    func(b []byte) []byte { return b },
+			wantValid:  3,
+			wantOffset: int64(len(clean)),
+		},
+		{
+			name:       "empty file",
+			corrupt:    func([]byte) []byte { return nil },
+			wantValid:  0,
+			wantOffset: 0,
+		},
+		{
+			name:       "truncated mid-payload",
+			corrupt:    func(b []byte) []byte { return b[:secondEnd+frameHeaderBytes+4] },
+			wantValid:  2,
+			wantOffset: secondEnd,
+			wantReason: "truncated-payload",
+		},
+		{
+			name:       "truncated mid-header",
+			corrupt:    func(b []byte) []byte { return b[:secondEnd+3] },
+			wantValid:  2,
+			wantOffset: secondEnd,
+			wantReason: "truncated-header",
+		},
+		{
+			name: "bit flip in last payload",
+			corrupt: func(b []byte) []byte {
+				out := append([]byte(nil), b...)
+				out[len(out)-1] ^= 0x01
+				return out
+			},
+			wantValid:  2,
+			wantOffset: secondEnd,
+			wantReason: "bad-crc",
+		},
+		{
+			name: "bad length prefix",
+			corrupt: func(b []byte) []byte {
+				out := append([]byte(nil), b[:secondEnd]...)
+				var hdr [frameHeaderBytes]byte
+				binary.LittleEndian.PutUint32(hdr[0:4], 0xFFFFFFFF)
+				return append(append(out, hdr[:]...), "garbage"...)
+			},
+			wantValid:  2,
+			wantOffset: secondEnd,
+			wantReason: "bad-length",
+		},
+		{
+			name: "zero length prefix",
+			corrupt: func(b []byte) []byte {
+				out := append([]byte(nil), b[:secondEnd]...)
+				return append(out, make([]byte, frameHeaderBytes)...)
+			},
+			wantValid:  2,
+			wantOffset: secondEnd,
+			wantReason: "bad-length",
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "runs.wal")
+			raw := c.corrupt(append([]byte(nil), clean...))
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			j, rec, err := OpenJournal(path, SyncAlways)
+			if err != nil {
+				t.Fatalf("corrupt journal refused to open: %v", err)
+			}
+			defer j.Close()
+
+			if len(rec.Payloads) != c.wantValid {
+				t.Fatalf("recovered %d records, want %d", len(rec.Payloads), c.wantValid)
+			}
+			for i, p := range rec.Payloads {
+				if !bytes.Equal(p, records[i]) {
+					t.Fatalf("record %d = %q, want %q (recovery must be byte-deterministic)", i, p, records[i])
+				}
+			}
+			if rec.Tail.Offset != c.wantOffset || rec.Tail.Reason != c.wantReason {
+				t.Fatalf("tail = %+v, want offset %d reason %q", rec.Tail, c.wantOffset, c.wantReason)
+			}
+			if j.Size() != c.wantOffset {
+				t.Fatalf("journal resumed at %d, want the valid prefix end %d", j.Size(), c.wantOffset)
+			}
+
+			// The on-disk file must be truncated back to the valid prefix
+			// and the bad bytes preserved in the quarantine file.
+			onDisk, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(onDisk, raw[:c.wantOffset]) {
+				t.Fatal("journal file was not truncated to its valid prefix")
+			}
+			qpath := path + ".quarantine"
+			if c.wantReason == "" {
+				if rec.QuarantinePath != "" {
+					t.Fatalf("clean journal quarantined %q", rec.QuarantinePath)
+				}
+				if _, err := os.Stat(qpath); !os.IsNotExist(err) {
+					t.Fatal("clean journal left a quarantine file")
+				}
+			} else {
+				if rec.QuarantinePath != qpath {
+					t.Fatalf("QuarantinePath = %q, want %q", rec.QuarantinePath, qpath)
+				}
+				q, err := os.ReadFile(qpath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(q, raw[c.wantOffset:]) {
+					t.Fatal("quarantine file does not hold exactly the invalid tail bytes")
+				}
+			}
+
+			// Appends resume on a frame boundary: write one record, close,
+			// reopen — everything must scan clean.
+			if err := j.Append([]byte(`{"type":"started","run_id":"r-2"}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j2, rec2, err := OpenJournal(path, SyncAlways)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			if !rec2.Tail.Clean() || len(rec2.Payloads) != c.wantValid+1 {
+				t.Fatalf("post-recovery journal unclean: %d records, tail %+v", len(rec2.Payloads), rec2.Tail)
+			}
+		})
+	}
+}
+
+// TestStoreOpenReplaysAndQuarantines drives the same property through
+// the Store layer: a journal with a torn tail still opens, replays its
+// valid records into run states, and reports the quarantine.
+func TestStoreOpenReplaysAndQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Append(Accepted("r-1", "fig5", []byte(`{"seed":7}`))))
+	must(s.Append(Started("r-1")))
+	must(s.Append(CheckpointPoint("r-1", []byte(`{"label":"p0"}`))))
+	must(s.Append(Accepted("r-2", "fig6", []byte(`{"seed":8}`))))
+	must(s.Append(Completed("r-2", []byte(`{"id":"fig6"}`))))
+	if s.AppendedRecords() != 5 {
+		t.Fatalf("AppendedRecords = %d, want 5", s.AppendedRecords())
+	}
+	must(s.Close())
+
+	// Tear the file mid-record.
+	path := filepath.Join(dir, journalFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(os.WriteFile(path, raw[:len(raw)-5], 0o644))
+
+	s2, err := Open(dir, SyncAlways)
+	if err != nil {
+		t.Fatalf("torn journal blocked Open: %v", err)
+	}
+	defer s2.Close()
+	if s2.Tail().Clean() {
+		t.Fatal("torn tail not reported")
+	}
+	states := s2.States()
+	if len(states) != 2 {
+		t.Fatalf("replayed %d states, want 2", len(states))
+	}
+	r1 := states[0]
+	if r1.RunID != "r-1" || !r1.Started || r1.Terminal || len(r1.Points) != 1 {
+		t.Fatalf("r-1 state = %+v", r1)
+	}
+	// r-2's completed record was the torn one: it replays as in-flight.
+	r2 := states[1]
+	if r2.RunID != "r-2" || r2.Terminal {
+		t.Fatalf("r-2 state = %+v, want non-terminal (its terminal record was torn)", r2)
+	}
+}
+
+// TestStoreCompact: compaction rewrites the journal to the snapshot and
+// a reopen replays exactly the snapshot.
+func TestStoreCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Append(Started("r-1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := s.SizeBytes()
+	snap := []Record{
+		Accepted("r-1", "fig5", []byte(`{"seed":7}`)),
+		Completed("r-1", []byte(`{"id":"fig5"}`)),
+	}
+	if err := s.Compact(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s.SizeBytes() >= grown {
+		t.Fatalf("compaction did not shrink: %d -> %d", grown, s.SizeBytes())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	states := s2.States()
+	if len(states) != 1 || !states[0].Terminal || states[0].Status != "done" {
+		t.Fatalf("post-compaction states = %+v", states)
+	}
+}

@@ -1,0 +1,94 @@
+package store
+
+import "encoding/json"
+
+// RunState is the aggregate of one run's journal records after replay:
+// what the serving layer needs to either restore a finished run into
+// its result cache or requeue an interrupted one with its recovered
+// checkpoint.
+type RunState struct {
+	RunID      string
+	Experiment string
+	// Options is the canonical options JSON from the accepted record.
+	Options json.RawMessage
+	// Started reports whether a worker ever picked the run up.
+	Started bool
+	// Terminal is true once a completed/failed record was replayed;
+	// Status then holds "done", "failed", "canceled" or "timeout".
+	Terminal bool
+	Status   string
+	Error    string
+	// Report is the full report JSON of a completed run.
+	Report json.RawMessage
+	// Points are the encoded checkpoint points in completion order
+	// (duplicate labels are resolved by the bench checkpoint on
+	// restore: last value wins, first position kept).
+	Points []json.RawMessage
+	// TerminalSeq orders terminal states by when they finished — the
+	// replay-side equivalent of the serve layer's completion list, so
+	// cache eviction order survives a restart. Zero for in-flight runs.
+	TerminalSeq int
+}
+
+// ReplayStats counts what Replay consumed.
+type ReplayStats struct {
+	// Records is the number of well-formed records replayed.
+	Records int
+	// Malformed counts payloads that passed the CRC but did not decode
+	// to a valid record (version skew, manual edits). They are skipped —
+	// the quarantine counterpart of a torn frame tail.
+	Malformed int
+}
+
+// Replay folds journal payloads into per-run states, in first-accepted
+// order. Records referencing a run with no accepted record are skipped
+// as malformed: nothing could be done with them at restore time. A
+// fresh accepted record for an already-terminal run resets its state —
+// that is the journal image of resubmitting a failed/canceled run.
+func Replay(payloads [][]byte) ([]RunState, ReplayStats) {
+	var stats ReplayStats
+	byID := map[string]*RunState{}
+	var order []string
+	seq := 0
+	for _, p := range payloads {
+		rec, err := DecodeRecord(p)
+		if err != nil {
+			stats.Malformed++
+			continue
+		}
+		st, known := byID[rec.RunID]
+		if rec.Type == RecordAccepted {
+			fresh := RunState{RunID: rec.RunID, Experiment: rec.Experiment, Options: rec.Options}
+			if known {
+				*st = fresh // resubmission replaces the old terminal state
+			} else {
+				byID[rec.RunID] = &fresh
+				order = append(order, rec.RunID)
+			}
+			stats.Records++
+			continue
+		}
+		if !known {
+			stats.Malformed++
+			continue
+		}
+		stats.Records++
+		switch rec.Type {
+		case RecordStarted:
+			st.Started = true
+		case RecordCheckpoint:
+			st.Points = append(st.Points, rec.Point)
+		case RecordCompleted:
+			seq++
+			st.Terminal, st.Status, st.Report, st.TerminalSeq = true, "done", rec.Report, seq
+		case RecordFailed:
+			seq++
+			st.Terminal, st.Status, st.Error, st.TerminalSeq = true, rec.Status, rec.Error, seq
+		}
+	}
+	out := make([]RunState, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out, stats
+}

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"testing"
+)
+
+func encodeAll(t *testing.T, recs ...Record) [][]byte {
+	t.Helper()
+	out := make([][]byte, 0, len(recs))
+	for _, r := range recs {
+		b, err := r.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestReplayLifecycles(t *testing.T) {
+	payloads := encodeAll(t,
+		Accepted("r-done", "fig5", []byte(`{"seed":7}`)),
+		Started("r-done"),
+		CheckpointPoint("r-done", []byte(`{"label":"a"}`)),
+		Completed("r-done", []byte(`{"id":"fig5"}`)),
+
+		Accepted("r-flight", "fig6", []byte(`{"seed":8}`)),
+		Started("r-flight"),
+		CheckpointPoint("r-flight", []byte(`{"label":"x"}`)),
+		CheckpointPoint("r-flight", []byte(`{"label":"y"}`)),
+
+		Accepted("r-failed", "fig7", []byte(`{"seed":9}`)),
+		Started("r-failed"),
+		Failed("r-failed", "timeout", "deadline exceeded"),
+	)
+	states, stats := Replay(payloads)
+	if stats.Malformed != 0 || stats.Records != len(payloads) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(states) != 3 {
+		t.Fatalf("replayed %d states, want 3", len(states))
+	}
+	done, flight, failed := states[0], states[1], states[2]
+	if !done.Terminal || done.Status != "done" || string(done.Report) != `{"id":"fig5"}` || done.TerminalSeq != 1 {
+		t.Fatalf("done state = %+v", done)
+	}
+	if flight.Terminal || !flight.Started || len(flight.Points) != 2 || string(flight.Options) != `{"seed":8}` {
+		t.Fatalf("flight state = %+v", flight)
+	}
+	if !failed.Terminal || failed.Status != "timeout" || failed.Error != "deadline exceeded" || failed.TerminalSeq != 2 {
+		t.Fatalf("failed state = %+v", failed)
+	}
+}
+
+// TestReplayResubmissionResetsState: a fresh accepted record for a run
+// that already failed replaces the old terminal state, the journal
+// image of resubmitting a failed run.
+func TestReplayResubmissionResetsState(t *testing.T) {
+	payloads := encodeAll(t,
+		Accepted("r-1", "fig5", []byte(`{"seed":7}`)),
+		Failed("r-1", "canceled", "user gave up"),
+		Accepted("r-1", "fig5", []byte(`{"seed":7}`)),
+		Started("r-1"),
+	)
+	states, _ := Replay(payloads)
+	if len(states) != 1 {
+		t.Fatalf("replayed %d states, want 1", len(states))
+	}
+	st := states[0]
+	if st.Terminal || !st.Started || st.Error != "" {
+		t.Fatalf("resubmitted run still carries old terminal state: %+v", st)
+	}
+}
+
+// TestReplaySkipsMalformed: payloads that are not valid records, and
+// records referencing a never-accepted run, are counted and skipped —
+// the decode-level analogue of tail quarantine.
+func TestReplaySkipsMalformed(t *testing.T) {
+	good := encodeAll(t, Accepted("r-1", "fig5", nil), Completed("r-1", nil))
+	payloads := [][]byte{
+		[]byte("not json at all"),
+		good[0],
+		[]byte(`{"type":"orbited","run_id":"r-1"}`), // unknown type
+		encodeAll(t, Started("r-ghost"))[0],         // never accepted
+		good[1],
+		[]byte(`{"type":"accepted"}`), // no run id
+	}
+	states, stats := Replay(payloads)
+	if len(states) != 1 || !states[0].Terminal {
+		t.Fatalf("states = %+v", states)
+	}
+	if stats.Records != 2 || stats.Malformed != 4 {
+		t.Fatalf("stats = %+v, want 2 records / 4 malformed", stats)
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  Record
+		ok   bool
+	}{
+		{"accepted", Accepted("r", "fig5", nil), true},
+		{"accepted no experiment", Record{Type: RecordAccepted, RunID: "r"}, false},
+		{"no run id", Record{Type: RecordStarted}, false},
+		{"checkpoint no point", Record{Type: RecordCheckpoint, RunID: "r"}, false},
+		{"checkpoint", CheckpointPoint("r", []byte(`{}`)), true},
+		{"failed no status", Record{Type: RecordFailed, RunID: "r"}, false},
+		{"failed", Failed("r", "canceled", ""), true},
+		{"unknown type", Record{Type: "orbited", RunID: "r"}, false},
+	}
+	for _, c := range cases {
+		if err := c.rec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// journalFile is the WAL's name inside a data directory.
+const journalFile = "runs.wal"
+
+// Store couples a file-backed journal with the replayed run states it
+// contained at open time. One Store owns one data directory; the serve
+// layer appends lifecycle records through it and reads States once at
+// startup.
+type Store struct {
+	j        *Journal
+	dir      string
+	states   []RunState
+	stats    ReplayStats
+	tail     Tail
+	appended atomic.Int64
+}
+
+// Open recovers the journal inside dir (creating the directory and an
+// empty journal as needed) and replays it. Corrupt tails are
+// quarantined, never fatal; only real IO errors fail an Open.
+func Open(dir string, policy SyncPolicy) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	j, rec, err := OpenJournal(filepath.Join(dir, journalFile), policy)
+	if err != nil {
+		return nil, err
+	}
+	states, stats := Replay(rec.Payloads)
+	return &Store{j: j, dir: dir, states: states, stats: stats, tail: rec.Tail}, nil
+}
+
+// Dir returns the data directory this store owns.
+func (s *Store) Dir() string { return s.dir }
+
+// States returns the run states replayed at open time, in
+// first-accepted order.
+func (s *Store) States() []RunState { return s.states }
+
+// ReplayStats reports what the open-time replay consumed.
+func (s *Store) ReplayStats() ReplayStats { return s.stats }
+
+// Tail describes the corrupt journal suffix quarantined at open time
+// (zero when the journal was clean).
+func (s *Store) Tail() Tail { return s.tail }
+
+// QuarantinePath returns where the open-time corrupt tail was written,
+// or "" when the journal was clean.
+func (s *Store) QuarantinePath() string {
+	if s.tail.Clean() {
+		return ""
+	}
+	return s.j.path + ".quarantine"
+}
+
+// Append journals one lifecycle record under the open fsync policy.
+func (s *Store) Append(rec Record) error {
+	b, err := rec.Encode()
+	if err != nil {
+		return err
+	}
+	if err := s.j.Append(b); err != nil {
+		return err
+	}
+	s.appended.Add(1)
+	return nil
+}
+
+// Compact snapshot-and-truncates the journal down to exactly recs —
+// the caller's canonical image of live state. It also clears a sticky
+// append error (the poisoned tail is rewritten away).
+func (s *Store) Compact(recs []Record) error {
+	payloads := make([][]byte, 0, len(recs))
+	for _, r := range recs {
+		b, err := r.Encode()
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, b)
+	}
+	return s.j.Rewrite(payloads)
+}
+
+// SizeBytes is the journal's current length.
+func (s *Store) SizeBytes() int64 { return s.j.Size() }
+
+// AppendedRecords counts records appended through this Store since it
+// was opened (compaction rewrites are not appends).
+func (s *Store) AppendedRecords() int64 { return s.appended.Load() }
+
+// Err surfaces a sticky journal write failure (nil when healthy).
+func (s *Store) Err() error { return s.j.Err() }
+
+// Sync forces an fsync regardless of policy.
+func (s *Store) Sync() error { return s.j.Sync() }
+
+// Close syncs and closes the journal.
+func (s *Store) Close() error { return s.j.Close() }

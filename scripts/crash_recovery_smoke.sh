@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test: boot piumaserve with a data dir, submit an
+# ext-degraded sweep, kill -9 the process mid-run, restart it on the
+# same data dir, and require that the run finishes with at least one
+# sweep point reused from the journal instead of re-simulated.
+#
+# Usage: scripts/crash_recovery_smoke.sh [addr]
+set -euo pipefail
+
+ADDR="${1:-127.0.0.1:8091}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+DATA="$TMP/data"
+LOG="$TMP/serve.log"
+PID=""
+
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+# json_field <field> extracts a scalar field from the JSON on stdin.
+json_field() {
+    sed -n "s/.*\"$1\"[[:space:]]*:[[:space:]]*\"\{0,1\}\([^\",}]*\)\"\{0,1\}.*/\1/p" | head -n1
+}
+
+start_server() {
+    "$BIN" -addr "$ADDR" -workers 1 -data-dir "$DATA" -fsync always >>"$LOG" 2>&1 &
+    PID=$!
+    for _ in $(seq 1 100); do
+        if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        kill -0 "$PID" 2>/dev/null || fail "server exited during startup"
+        sleep 0.2
+    done
+    fail "server never became healthy on $ADDR"
+}
+
+# A sweep sized so each severity point takes seconds: wide kill window,
+# and an uninterrupted rerun would be expensive enough that reuse is
+# observable.
+SUBMIT_BODY='{"experiment":"ext-degraded","options":{"max_sim_edges":2097152,"seed":7}}'
+
+# kill -9 must hit the server itself, not a `go run` wrapper, so build
+# the real binary first.
+BIN="$TMP/piumaserve"
+go build -o "$BIN" ./cmd/piumaserve
+
+echo "== boot 1: submit and kill -9 mid-sweep =="
+start_server
+RUN_ID=$(curl -sf -X POST "$BASE/v1/runs" -d "$SUBMIT_BODY" | json_field id)
+[ -n "$RUN_ID" ] || fail "submission returned no run id"
+echo "run: $RUN_ID"
+
+# Wait for the first checkpoint point to hit the journal, then kill.
+KILLED=0
+for _ in $(seq 1 600); do
+    BODY=$(curl -sf "$BASE/v1/runs/$RUN_ID") || fail "polling run"
+    STATUS=$(echo "$BODY" | json_field status)
+    POINTS=$(echo "$BODY" | json_field checkpoint_points)
+    [ "$STATUS" = done ] && fail "run finished before the kill; raise max_sim_edges"
+    if [ -n "$POINTS" ] && [ "$POINTS" -ge 1 ]; then
+        kill -9 "$PID"
+        wait "$PID" 2>/dev/null || true
+        PID=""
+        KILLED=1
+        echo "killed -9 after $POINTS checkpointed point(s)"
+        break
+    fi
+    sleep 0.1
+done
+[ "$KILLED" = 1 ] || fail "run never checkpointed a sweep point"
+
+echo "== boot 2: recover and resume =="
+start_server
+grep -q "recovered 1 run" "$LOG" || fail "no recovery log line after restart"
+
+for _ in $(seq 1 1200); do
+    BODY=$(curl -sf "$BASE/v1/runs/$RUN_ID") || fail "run $RUN_ID unknown after restart"
+    STATUS=$(echo "$BODY" | json_field status)
+    case "$STATUS" in
+    done)
+        REUSED=$(echo "$BODY" | json_field reused_points)
+        [ -n "$REUSED" ] && [ "$REUSED" -ge 1 ] ||
+            fail "run finished with reused_points=${REUSED:-0}, want >= 1"
+        echo "PASS: run $RUN_ID done after crash, $REUSED point(s) reused from the journal"
+        exit 0
+        ;;
+    failed | canceled | timeout)
+        fail "recovered run ended $STATUS: $(echo "$BODY" | json_field error)"
+        ;;
+    esac
+    sleep 0.1
+done
+fail "recovered run never finished"
