@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the reproducibility contract of the
+// simulation and codec packages: identical options must produce
+// byte-identical reports, traces and journals. It reports
+//
+//   - wall-clock reads (time.Now/Since/Until) — simulated time is the
+//     only clock those packages may consult;
+//   - calls to the process-global math/rand (and math/rand/v2)
+//     generators — all randomness must flow from a seeded rand.New so
+//     a run is a pure function of its options;
+//   - map iteration whose order leaks into output: appending map keys
+//     or values to a slice that is never sorted afterwards, writing or
+//     formatting inside the loop, or accumulating floating-point sums
+//     (float addition is not associative, so map order changes the
+//     result bits).
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global math/rand and order-sensitive map iteration " +
+		"in the simulation, codec and journal packages",
+	Run: runDeterminism,
+	Applies: scopedTo("internal/sim", "internal/piuma", "internal/spmm",
+		"internal/faults", "internal/bench", "internal/store"),
+}
+
+// seededConstructors are the math/rand entry points that build an
+// explicitly seeded generator — the sanctioned way to use randomness.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		for _, fn := range functionsIn(f) {
+			body := fn.body
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkNondeterministicCall(p, n)
+				case *ast.RangeStmt:
+					if _, ok := p.Info.Types[n.X].Type.Underlying().(*types.Map); ok {
+						checkMapRange(p, body, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fnBody pairs a function-ish node with its body for walkers that need
+// the enclosing scope.
+type fnBody struct {
+	body *ast.BlockStmt
+}
+
+// functionsIn yields every function declaration body in the file.
+// Function literals are walked as part of their enclosing declaration.
+func functionsIn(f *ast.File) []fnBody {
+	var out []fnBody
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fnBody{body: fd.Body})
+		}
+	}
+	return out
+}
+
+func checkNondeterministicCall(p *Pass, call *ast.CallExpr) {
+	pkgPath, name, ok := stdlibCallee(p, call)
+	if !ok {
+		return
+	}
+	switch pkgPath {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			p.Reportf(call.Pos(), "time.%s reads the wall clock; simulation and codec code must be a pure function of its inputs (thread timestamps in explicitly)", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[name] {
+			p.Reportf(call.Pos(), "global rand.%s is seeded process-wide; use a local generator from rand.New so the result is reproducible from the run's seed", name)
+		}
+	}
+}
+
+// stdlibCallee resolves a call of the form pkg.Fn to (package path,
+// function name).
+func stdlibCallee(p *Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// checkMapRange flags order-sensitive sinks inside a range over a map.
+func checkMapRange(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, enclosing, rng, n)
+		case *ast.CallExpr:
+			if pkg, name, ok := stdlibCallee(p, n); ok && pkg == "fmt" &&
+				(name == "Fprint" || name == "Fprintf" || name == "Fprintln" ||
+					name == "Print" || name == "Printf" || name == "Println") {
+				p.Reportf(n.Pos(), "fmt.%s inside map iteration emits output in map order, which differs between runs; iterate sorted keys instead", name)
+				return true
+			}
+			if _, mname, ok := methodCallee(p, n); ok && isWriterMethod(mname) {
+				p.Reportf(n.Pos(), "%s inside map iteration writes in map order, which differs between runs; iterate sorted keys instead", mname)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign handles the two order-sensitive assignment
+// shapes: append-to-outer-slice (unless the slice is sorted after the
+// loop) and floating-point op-assign accumulation.
+func checkMapRangeAssign(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	// x op= v with a float target declared outside the loop.
+	if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN || as.Tok == token.MUL_ASSIGN || as.Tok == token.QUO_ASSIGN {
+		if len(as.Lhs) == 1 {
+			if obj := outerObject(p, as.Lhs[0], rng); obj != nil && isFloat(obj.Type()) {
+				p.Reportf(as.Pos(), "floating-point accumulation of %s in map iteration order is not associative and changes result bits between runs; accumulate over sorted keys", obj.Name())
+			}
+		}
+		return
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	// x = append(x, ...) with x declared outside the loop.
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p, call) || i >= len(as.Lhs) {
+			continue
+		}
+		obj := outerObject(p, as.Lhs[i], rng)
+		if obj == nil {
+			continue
+		}
+		if sortedAfter(p, enclosing, rng, obj) {
+			continue
+		}
+		p.Reportf(as.Pos(), "%s accumulates map keys/values in map iteration order and is never sorted afterwards; sort it (or iterate sorted keys) before it feeds output", obj.Name())
+	}
+}
+
+// outerObject resolves expr to a variable declared outside the range
+// statement (nil otherwise).
+func outerObject(p *Pass, expr ast.Expr, rng *ast.RangeStmt) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil || obj.Pos() == token.NoPos {
+		return nil
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return nil
+	}
+	return obj
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.*
+// call after the range statement within the enclosing function body —
+// the canonical collect-then-sort pattern.
+func sortedAfter(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		pkg, _, ok := stdlibCallee(p, call)
+		if !ok || (pkg != "sort" && pkg != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// methodCallee resolves a method call to (receiver type, method name).
+func methodCallee(p *Pass, call *ast.CallExpr) (types.Type, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	return s.Recv(), sel.Sel.Name, true
+}
+
+// isWriterMethod matches the io-writer method names whose call order
+// is observable in the output stream.
+func isWriterMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}
+
+// infallibleWriter reports whether t is a strings.Builder or
+// bytes.Buffer (possibly behind a pointer) — in-memory writers used in
+// this codebase for building strings that are sorted or keyed later.
+func infallibleWriter(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	q := obj.Pkg().Path() + "." + obj.Name()
+	return q == "strings.Builder" || q == "bytes.Buffer"
+}

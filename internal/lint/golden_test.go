@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureLoader is shared across golden tests so stdlib packages are
+// source-imported once, not once per fixture.
+var (
+	fixtureOnce   sync.Once
+	fixtureLoader *Loader
+	fixtureErr    error
+)
+
+func loaderForFixtures(t *testing.T) *Loader {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureLoader, fixtureErr = NewLoader(".")
+	})
+	if fixtureErr != nil {
+		t.Fatalf("NewLoader: %v", fixtureErr)
+	}
+	return fixtureLoader
+}
+
+// TestGoldenDiagnostics runs each analyzer over its fixture package in
+// testdata/src/<name> and compares the rendered findings against
+// expected.txt. The goldens are non-empty, so a disabled or broken
+// analyzer fails its subtest.
+func TestGoldenDiagnostics(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", a.Name)
+			l := loaderForFixtures(t)
+			pkg, err := l.LoadDir(dir, "piumagcn/internal/lint/"+filepath.ToSlash(dir))
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			var got []string
+			for _, d := range Run(pkg, []*Analyzer{a}) {
+				// Positions (both the diagnostic's own and any embedded in
+				// messages) carry the load dir; the goldens are relative to
+				// the fixture dir.
+				got = append(got, strings.ReplaceAll(d.String(), dir+string(filepath.Separator), ""))
+			}
+			wantRaw, err := os.ReadFile(filepath.Join(dir, "expected.txt"))
+			if err != nil {
+				t.Fatalf("reading golden: %v", err)
+			}
+			want := strings.Split(strings.TrimRight(string(wantRaw), "\n"), "\n")
+			if len(want) == 0 || (len(want) == 1 && want[0] == "") {
+				t.Fatalf("golden %s/expected.txt is empty; each analyzer needs findings that vanish if it is disabled", dir)
+			}
+			if len(got) != len(want) {
+				t.Errorf("got %d findings, want %d\ngot:\n%s\nwant:\n%s",
+					len(got), len(want), strings.Join(got, "\n"), strings.Join(want, "\n"))
+				return
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("finding %d:\n got: %s\nwant: %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFixturesCoverEveryAnalyzer pins the fixture tree to the analyzer
+// registry: a new analyzer without a fixture (or a stray fixture dir)
+// fails here.
+func TestFixturesCoverEveryAnalyzer(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("reading testdata/src: %v", err)
+	}
+	have := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() {
+			have[e.Name()] = true
+		}
+	}
+	for _, a := range All() {
+		if !have[a.Name] {
+			t.Errorf("analyzer %s has no fixture package under testdata/src", a.Name)
+		}
+		delete(have, a.Name)
+	}
+	for name := range have {
+		t.Errorf("fixture dir %s matches no registered analyzer", name)
+	}
+}

@@ -1,0 +1,44 @@
+// Package ctxhygiene is a lint fixture: contexts manufactured where a
+// caller's context is in scope ("want") versus legitimate roots and
+// proper derivation ("clean").
+package ctxhygiene
+
+import "context"
+
+// Run discards the caller's context for the work below it. want.
+func Run(ctx context.Context, n int) error {
+	sub := context.Background()
+	return work(sub, n)
+}
+
+// Later left TODO plumbing in place. want.
+func Later(n int) error {
+	return work(context.TODO(), n)
+}
+
+// Spawn nests a literal inside a ctx-bearing function; the caller's
+// context is still the one to derive from. want.
+func Spawn(ctx context.Context) {
+	go func() {
+		_ = work(context.Background(), 0)
+	}()
+}
+
+// NewRoot is a root construction site — no caller context exists.
+// clean.
+func NewRoot() context.Context {
+	return context.Background()
+}
+
+// Forward derives from the parameter. clean.
+func Forward(ctx context.Context, n int) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(ctx, n)
+}
+
+func work(ctx context.Context, n int) error {
+	_ = n
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,87 @@
+// Package determinism is a lint fixture: each "want" site below must
+// appear in expected.txt, and the clean sites must not.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock. want.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Age reads the wall clock through Since. want.
+func Age(t time.Time) time.Duration {
+	return time.Since(t)
+}
+
+// Jitter uses the process-global generator. want.
+func Jitter() int {
+	return rand.Intn(8)
+}
+
+// JitterV2 uses the process-global v2 generator. want.
+func JitterV2() int {
+	return randv2.IntN(8)
+}
+
+// Seeded builds a local seeded generator. clean.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// Names leaks map order into the result slice. want.
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedNames collects then sorts — the canonical pattern. clean.
+func SortedNames(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump prints in map order. want.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// FloatSum accumulates floats in map order (not associative). want.
+func FloatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// IntSum is order-free: integer addition commutes exactly. clean.
+func IntSum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Suppressed demonstrates //lint:ignore. clean.
+func Suppressed() int64 {
+	//lint:ignore determinism fixture: proves suppression filters a finding
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,55 @@
+// Package erriswritten is a lint fixture: discarded write errors
+// ("want") versus checked, blanked and infallible writes ("clean").
+package erriswritten
+
+import (
+	"fmt"
+	"strings"
+)
+
+// wal is a stand-in for the journal's write path.
+type wal struct{ buf []byte }
+
+func (w *wal) Write(p []byte) (int, error) { w.buf = append(w.buf, p...); return len(p), nil }
+func (w *wal) Sync() error                 { return nil }
+func (w *wal) Flush() error                { return nil }
+
+// AppendRecord drops the Write error on the floor. want.
+func AppendRecord(w *wal, rec []byte) {
+	w.Write(rec)
+}
+
+// SyncDiscarded drops the Sync error — the fsync that makes the record
+// durable. want.
+func SyncDiscarded(w *wal) {
+	w.Sync()
+}
+
+// HeaderDiscarded drops the Fprintf error. want.
+func HeaderDiscarded(w *wal) {
+	fmt.Fprintf(w, "piuma-wal %d\n", 1)
+}
+
+// Checked propagates both errors. clean.
+func Checked(w *wal, rec []byte) error {
+	if _, err := w.Write(rec); err != nil {
+		return err
+	}
+	return w.Sync()
+}
+
+// BestEffort records the decision to ignore with a blank assignment.
+// clean.
+func BestEffort(w *wal) {
+	_ = w.Flush()
+}
+
+// Render writes to a strings.Builder, which cannot fail. clean.
+func Render(items []string) string {
+	var b strings.Builder
+	for _, it := range items {
+		b.WriteString(it)
+		fmt.Fprintf(&b, "<%s>", it)
+	}
+	return b.String()
+}

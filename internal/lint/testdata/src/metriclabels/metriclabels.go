@@ -1,0 +1,72 @@
+// Package obs is a lint fixture for metriclabels. It is named obs so
+// the analyzer's receiver match (package name plus *Vec type name)
+// applies to these locally defined registry stand-ins.
+package obs
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// CounterVec stands in for the registry's labeled counter family.
+type CounterVec struct{}
+
+// Counter is one labeled series.
+type Counter struct{ n int64 }
+
+// With selects the series for the given label values.
+func (v *CounterVec) With(labels ...string) *Counter { _ = labels; return &Counter{} }
+
+// Inc increments the series.
+func (c *Counter) Inc() { c.n++ }
+
+// ClassStats mirrors the registry's bounded component-class vocabulary.
+type ClassStats struct{ Class string }
+
+// job is a request-scoped value: its id is unbounded.
+type job struct{ id string }
+
+var requests = &CounterVec{}
+
+// ConstLabel passes a compile-time constant. clean.
+func ConstLabel() {
+	requests.With("accepted").Inc()
+}
+
+// BoundedField passes the sanctioned bounded field. clean.
+func BoundedField(c ClassStats) {
+	requests.With(c.Class).Inc()
+}
+
+// FormattedLabel materializes a series per distinct code. want.
+func FormattedLabel(code int) {
+	requests.With(fmt.Sprintf("code-%d", code)).Inc()
+}
+
+// ItoaLabel converts an unbounded int. want.
+func ItoaLabel(code int) {
+	requests.With(strconv.Itoa(code)).Inc()
+}
+
+// Exported takes the label from an exported parameter; callers outside
+// the package are invisible to the trace. want.
+func Exported(reason string) {
+	requests.With(reason).Inc()
+}
+
+// incReason is the wrapper pattern: unexported, and every package-local
+// call site passes a constant. clean.
+func incReason(reason string) {
+	requests.With(reason).Inc()
+}
+
+// Shutdown and Reject bound incReason's parameter. clean.
+func Shutdown() { incReason("draining") }
+
+// Reject is the second bounded call site. clean.
+func Reject() { incReason("queue-full") }
+
+// TrackJob selects a field outside the bounded vocabulary. want.
+func TrackJob(j job) {
+	requests.With(j.id).Inc()
+}

@@ -758,6 +758,10 @@ func (s *Server) finishLocked(r *run, rep *bench.Report, err error, timedOut boo
 	case r.status == StatusDone:
 		if raw, jerr := json.Marshal(rep); jerr == nil {
 			s.journal(store.Completed(r.id, raw))
+		} else {
+			// An unencodable report cannot reach the journal; count the
+			// durability gap like any other failed append.
+			s.metrics.incJournalAppendError()
 		}
 	case r.status == StatusCanceled && s.draining:
 		s.preserved++

@@ -15,6 +15,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Time is simulated time in picoseconds. Picosecond resolution keeps
@@ -116,10 +117,13 @@ func (e *Engine) Run() error {
 		ev.fn()
 	}
 	if e.liveProcs > 0 {
+		// Sorted so the deadlock report is deterministic: map iteration
+		// order must never reach engine output (piumalint: determinism).
 		names := make([]string, 0, len(e.parked))
 		for p := range e.parked {
 			names = append(names, p.Name)
 		}
+		sort.Strings(names)
 		return fmt.Errorf("sim: deadlock, %d process(es) still blocked: %v", e.liveProcs, names)
 	}
 	return nil

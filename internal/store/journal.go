@@ -377,6 +377,7 @@ func syncDir(dir string) {
 	if err != nil {
 		return
 	}
+	//lint:ignore erriswritten best-effort by contract: some filesystems reject directory fsync, and the rename itself is already durable on the ones that matter
 	d.Sync()
 	d.Close()
 }
