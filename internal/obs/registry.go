@@ -225,6 +225,18 @@ type Histogram struct {
 	s *series
 }
 
+// Histogram registers an unlabeled histogram with fixed bucket bounds
+// (a +Inf bucket is implicit). Client-side tooling (the workload
+// engine's request-latency track) uses these where a labeled family
+// would be overkill.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be sorted")
+	}
+	f := r.register(name, help, kindHistogram, nil, append([]float64(nil), bounds...))
+	return &Histogram{f: f, s: f.scalar}
+}
+
 // HistogramVec is a labeled histogram family with fixed bucket bounds.
 type HistogramVec struct{ f *family }
 

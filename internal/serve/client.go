@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"piumagcn/internal/bench"
+)
+
+// SLOClassHeader carries a submission's SLO class end to end: load
+// generators (internal/workload) set it per request, and the service
+// tracks per-class request counts and latencies under it (bounded to
+// the fixed class vocabulary — see classRequest in metrics.go).
+const SLOClassHeader = "X-SLO-Class"
+
+// Client is the typed HTTP client of the run API, shared by
+// cmd/piumaload and tests. The zero value is not usable: construct with
+// NewClient.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// NewClient targets a piumaserve (or httptest) base URL like
+// "http://127.0.0.1:8080". With a nil httpClient the default client is
+// used; per-request deadlines come from the caller's context either
+// way.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, http: httpClient}
+}
+
+// SubmitAndWait submits one run with ?wait=true and blocks until it
+// reaches a terminal status. It returns the decoded run resource and
+// the HTTP status code; err is non-nil only for transport-level
+// failures or undecodable bodies — API-level rejections (429 queue
+// full, 503 draining, 404 unknown experiment) come back as the status
+// code with a zero resource, so load generators can classify
+// backpressure without string-matching errors. class, when non-empty,
+// rides in the X-SLO-Class header.
+func (c *Client) SubmitAndWait(ctx context.Context, experiment string, o bench.Options, class string) (RunResource, int, error) {
+	body, err := json.Marshal(struct {
+		Experiment string        `json:"experiment"`
+		Options    bench.Options `json:"options"`
+	}{experiment, o})
+	if err != nil {
+		return RunResource{}, 0, fmt.Errorf("serve: encoding submit body: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/runs?wait=true", bytes.NewReader(body))
+	if err != nil {
+		return RunResource{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if class != "" {
+		req.Header.Set(SLOClassHeader, class)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return RunResource{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		// Drain the error body so the connection is reusable; the status
+		// code is the signal.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return RunResource{}, resp.StatusCode, nil
+	}
+	var res RunResource
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return RunResource{}, resp.StatusCode, fmt.Errorf("serve: decoding run resource: %w", err)
+	}
+	return res, resp.StatusCode, nil
+}
+
+// Healthz checks liveness; it returns an error while the server is
+// unreachable or draining.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: healthz returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Experiments lists the served registry.
+func (c *Client) Experiments(ctx context.Context) ([]ExperimentResource, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/experiments", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: /v1/experiments returned %d", resp.StatusCode)
+	}
+	var out []ExperimentResource
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"piumagcn/internal/bench"
 	"piumagcn/internal/obs"
@@ -54,6 +55,13 @@ type submitRequest struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Per-SLO-class accounting: the header value is normalized onto a
+	// bounded vocabulary inside observeClass, so hostile clients cannot
+	// mint metric series.
+	start := time.Now()
+	defer func() {
+		s.metrics.observeClass(r.Header.Get(SLOClassHeader), time.Since(start).Seconds())
+	}()
 	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
 	defaults := bench.DefaultOptions()
 	req := submitRequest{Options: &defaults}

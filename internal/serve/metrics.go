@@ -48,6 +48,12 @@ type metrics struct {
 	journalBytes   *obs.Gauge
 	quarantined    *obs.Counter
 	journalAppends *obs.Counter
+
+	// SLO-class families (appended last, same discipline). The class
+	// label is bounded to the workload vocabulary plus "other" and "":
+	// arbitrary header values never mint new series.
+	classRequests *obs.CounterVec
+	classLatency  *obs.HistogramVec
 }
 
 // latencyBounds are the histogram bucket upper bounds in seconds.
@@ -89,7 +95,38 @@ func newMetrics() *metrics {
 			"Malformed journal records skipped at startup, plus one per quarantined corrupt tail."),
 		journalAppends: reg.Counter("piumaserve_journal_append_errors_total",
 			"Lifecycle records that failed to reach the journal."),
+
+		classRequests: reg.CounterVec("piumaserve_class_requests_total",
+			"Run submissions by SLO class (X-SLO-Class header; bounded vocabulary).", "class"),
+		classLatency: reg.HistogramVec("piumaserve_class_request_seconds",
+			"Submit-request service time by SLO class.", latencyBounds, "class"),
 	}
+}
+
+// observeClass records one submit request under its SLO class. The
+// header value is free-form client input, so it is normalized onto the
+// fixed vocabulary here: every With call below passes a string literal,
+// which is how the metriclabels analyzer proves the label bounded.
+func (m *metrics) observeClass(class string, seconds float64) {
+	switch class {
+	case "gold":
+		m.classObserve("gold", seconds)
+	case "silver":
+		m.classObserve("silver", seconds)
+	case "bronze":
+		m.classObserve("bronze", seconds)
+	case "batch":
+		m.classObserve("batch", seconds)
+	case "":
+		m.classObserve("none", seconds)
+	default:
+		m.classObserve("other", seconds)
+	}
+}
+
+func (m *metrics) classObserve(class string, seconds float64) {
+	m.classRequests.With(class).Inc()
+	m.classLatency.With(class).Observe(seconds)
 }
 
 func (m *metrics) incSubmitted() { m.submitted.Inc() }

@@ -42,6 +42,9 @@ func TestMetricsExpositionByteCompatible(t *testing.T) {
 	m.addRecovered(3)
 	m.addQuarantined(2)
 	m.incJournalAppendError()
+	m.observeClass("gold", 0.25)
+	m.observeClass("gold", 2)
+	m.observeClass("not-a-class", 0.5) // hostile header → bounded "other"
 
 	var b strings.Builder
 	m.render(&b, 4, true, 4096)
@@ -141,7 +144,40 @@ piumaserve_quarantined_records_total 2
 # TYPE piumaserve_journal_append_errors_total counter
 piumaserve_journal_append_errors_total 1
 `
-	if want := legacy + simFamilies + resilienceFamilies + durabilityFamilies; got != want {
+	classFamilies := `# HELP piumaserve_class_requests_total Run submissions by SLO class (X-SLO-Class header; bounded vocabulary).
+# TYPE piumaserve_class_requests_total counter
+piumaserve_class_requests_total{class="gold"} 2
+piumaserve_class_requests_total{class="other"} 1
+# HELP piumaserve_class_request_seconds Submit-request service time by SLO class.
+# TYPE piumaserve_class_request_seconds histogram
+piumaserve_class_request_seconds_bucket{class="gold",le="0.001"} 0
+piumaserve_class_request_seconds_bucket{class="gold",le="0.005"} 0
+piumaserve_class_request_seconds_bucket{class="gold",le="0.025"} 0
+piumaserve_class_request_seconds_bucket{class="gold",le="0.1"} 0
+piumaserve_class_request_seconds_bucket{class="gold",le="0.5"} 1
+piumaserve_class_request_seconds_bucket{class="gold",le="1"} 1
+piumaserve_class_request_seconds_bucket{class="gold",le="5"} 2
+piumaserve_class_request_seconds_bucket{class="gold",le="25"} 2
+piumaserve_class_request_seconds_bucket{class="gold",le="100"} 2
+piumaserve_class_request_seconds_bucket{class="gold",le="500"} 2
+piumaserve_class_request_seconds_bucket{class="gold",le="+Inf"} 2
+piumaserve_class_request_seconds_sum{class="gold"} 2.25
+piumaserve_class_request_seconds_count{class="gold"} 2
+piumaserve_class_request_seconds_bucket{class="other",le="0.001"} 0
+piumaserve_class_request_seconds_bucket{class="other",le="0.005"} 0
+piumaserve_class_request_seconds_bucket{class="other",le="0.025"} 0
+piumaserve_class_request_seconds_bucket{class="other",le="0.1"} 0
+piumaserve_class_request_seconds_bucket{class="other",le="0.5"} 1
+piumaserve_class_request_seconds_bucket{class="other",le="1"} 1
+piumaserve_class_request_seconds_bucket{class="other",le="5"} 1
+piumaserve_class_request_seconds_bucket{class="other",le="25"} 1
+piumaserve_class_request_seconds_bucket{class="other",le="100"} 1
+piumaserve_class_request_seconds_bucket{class="other",le="500"} 1
+piumaserve_class_request_seconds_bucket{class="other",le="+Inf"} 1
+piumaserve_class_request_seconds_sum{class="other"} 0.5
+piumaserve_class_request_seconds_count{class="other"} 1
+`
+	if want := legacy + simFamilies + resilienceFamilies + durabilityFamilies + classFamilies; got != want {
 		t.Fatalf("exposition drifted from the legacy format.\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }

@@ -231,36 +231,6 @@ type Tail struct {
 // Clean reports whether the scan consumed the whole input.
 func (t Tail) Clean() bool { return t.Reason == "" }
 
-// ScanFrames decodes the valid frame prefix of b. Payloads are copies —
-// they do not alias b. Scanning never panics and never reads past
-// len(b), whatever the input (fuzzed in FuzzJournalDecode).
-func ScanFrames(b []byte) ([][]byte, Tail) {
-	var payloads [][]byte
-	off := int64(0)
-	for {
-		rem := b[off:]
-		if len(rem) == 0 {
-			return payloads, Tail{Offset: off}
-		}
-		if len(rem) < frameHeaderBytes {
-			return payloads, Tail{Offset: off, Reason: "truncated-header", Bytes: int64(len(rem))}
-		}
-		length := binary.LittleEndian.Uint32(rem[0:4])
-		if length == 0 || length > MaxRecordBytes {
-			return payloads, Tail{Offset: off, Reason: "bad-length", Bytes: int64(len(rem))}
-		}
-		if uint32(len(rem)-frameHeaderBytes) < length {
-			return payloads, Tail{Offset: off, Reason: "truncated-payload", Bytes: int64(len(rem))}
-		}
-		payload := rem[frameHeaderBytes : frameHeaderBytes+int(length)]
-		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rem[4:8]) {
-			return payloads, Tail{Offset: off, Reason: "bad-crc", Bytes: int64(len(rem))}
-		}
-		payloads = append(payloads, append([]byte(nil), payload...))
-		off += frameHeaderBytes + int64(length)
-	}
-}
-
 // Recovered reports what OpenJournal found on disk.
 type Recovered struct {
 	// Payloads are the decoded record payloads of the valid prefix, in

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// drawOffsets runs the generator to exhaustion and returns all offsets
+// in seconds.
+func drawOffsets(t *testing.T, s Scenario) []float64 {
+	t.Helper()
+	a, err := NewArrivals(s, rand.New(rand.NewSource(s.Seed)))
+	if err != nil {
+		t.Fatalf("NewArrivals: %v", err)
+	}
+	var out []float64
+	for {
+		off, ok := a.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, off.Seconds())
+	}
+}
+
+// interArrivalStats returns the sample mean and variance of the
+// inter-arrival gaps.
+func interArrivalStats(offsets []float64) (mean, variance float64) {
+	n := 0
+	prev := 0.0
+	var sum, sumSq float64
+	for _, o := range offsets {
+		d := o - prev
+		prev = o
+		sum += d
+		sumSq += d * d
+		n++
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return mean, variance
+}
+
+// oneTenant is a minimal valid tenant list for arrival-only tests.
+var oneTenant = []Tenant{{Name: "t", Class: ClassGold, Experiment: "table1"}}
+
+// TestArrivalStatistics checks each process's fixed-seed sample moments
+// against the analytic values: mean 1/rate for all, and squared
+// coefficient of variation 1 (Poisson), 1/k (Gamma) and
+// Γ(1+2/k)/Γ(1+1/k)² − 1 (Weibull). ~20k samples put the sample mean
+// within a percent and CV² within a few percent of truth.
+func TestArrivalStatistics(t *testing.T) {
+	const rate = 500.0
+	base := Scenario{Seed: 1234, Rate: rate, DurationMS: 40_000, Tenants: oneTenant}
+	cases := []struct {
+		name    string
+		process string
+		shape   float64
+		wantCV2 float64
+	}{
+		{"poisson", "poisson", 0, 1},
+		{"gamma-bursty", "gamma", 0.5, 2},     // CV² = 1/k
+		{"gamma-smooth", "gamma", 4, 0.25},    // CV² = 1/k
+		{"weibull-bursty", "weibull", 0.8, 0}, // filled below
+		{"weibull-smooth", "weibull", 2, 0},   // filled below
+	}
+	for i := range cases {
+		if cases[i].process == "weibull" {
+			k := cases[i].shape
+			m := math.Gamma(1 + 1/k)
+			cases[i].wantCV2 = math.Gamma(1+2/k)/(m*m) - 1
+		}
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base
+			s.Process = tc.process
+			s.Shape = tc.shape
+			offsets := drawOffsets(t, s)
+			if len(offsets) < 15_000 {
+				t.Fatalf("only %d samples; want ≥ 15000", len(offsets))
+			}
+			mean, variance := interArrivalStats(offsets)
+			if got, want := mean, 1/rate; math.Abs(got-want)/want > 0.02 {
+				t.Errorf("mean inter-arrival = %.6f, want %.6f ± 2%%", got, want)
+			}
+			cv2 := variance / (mean * mean)
+			if math.Abs(cv2-tc.wantCV2)/tc.wantCV2 > 0.08 {
+				t.Errorf("CV² = %.4f, want %.4f ± 8%%", cv2, tc.wantCV2)
+			}
+		})
+	}
+}
+
+// TestDiurnalModulation checks the time-rescaled rate curve: with
+// λ(t) = rate·(1 + amp·sin(2πt/period)), the first half of each period
+// must carry rate·(period/2) + rate·amp·period/π arrivals on average
+// and the second half the mirror image.
+func TestDiurnalModulation(t *testing.T) {
+	const (
+		rate   = 400.0
+		amp    = 0.8
+		period = 1.0 // seconds
+	)
+	s := Scenario{
+		Seed: 99, Rate: rate, Process: "poisson",
+		DurationMS: 20_000, DiurnalAmp: amp, DiurnalPeriodMS: 1000,
+		Tenants: oneTenant,
+	}
+	offsets := drawOffsets(t, s)
+	var firstHalf, secondHalf int
+	for _, o := range offsets {
+		if math.Mod(o, period) < period/2 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	}
+	// Per period: ∫₀^{T/2} λ = rate·T/2 + rate·amp·T/π over the rising
+	// half; the falling half gets rate·T/2 − rate·amp·T/π.
+	periods := s.Duration().Seconds() / period
+	wantFirst := (rate*period/2 + rate*amp*period/math.Pi) * periods
+	wantSecond := (rate*period/2 - rate*amp*period/math.Pi) * periods
+	if got := float64(firstHalf); math.Abs(got-wantFirst)/wantFirst > 0.05 {
+		t.Errorf("rising-half arrivals = %d, want %.0f ± 5%%", firstHalf, wantFirst)
+	}
+	if got := float64(secondHalf); math.Abs(got-wantSecond)/wantSecond > 0.05 {
+		t.Errorf("falling-half arrivals = %d, want %.0f ± 5%%", secondHalf, wantSecond)
+	}
+}
+
+// TestArrivalsDeterministic pins that equal seeds yield equal schedules
+// and different seeds do not.
+func TestArrivalsDeterministic(t *testing.T) {
+	s := Scenario{Seed: 7, Rate: 100, Process: "gamma", Shape: 0.5, DurationMS: 2000, Tenants: oneTenant}
+	a := drawOffsets(t, s)
+	b := drawOffsets(t, s)
+	if len(a) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offset %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	s.Seed = 8
+	c := drawOffsets(t, s)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestArrivalsBounds checks the duration horizon and max-requests cap.
+func TestArrivalsBounds(t *testing.T) {
+	s := Scenario{Seed: 3, Rate: 1000, Process: "poisson", DurationMS: 500, Tenants: oneTenant}
+	for _, o := range drawOffsets(t, s) {
+		if d := time.Duration(o * float64(time.Second)); d >= s.Duration() {
+			t.Fatalf("offset %v beyond horizon %v", d, s.Duration())
+		}
+	}
+	s.MaxRequests = 17
+	if got := len(drawOffsets(t, s)); got != 17 {
+		t.Fatalf("max-requests=17 issued %d", got)
+	}
+}
+
+// TestGammaSampleMoments checks the raw Gamma sampler against its
+// analytic mean k and variance k, covering both the k ≥ 1 path and the
+// boosted k < 1 path.
+func TestGammaSampleMoments(t *testing.T) {
+	for _, k := range []float64{0.5, 1, 2.5, 9} {
+		rng := rand.New(rand.NewSource(42))
+		const n = 60_000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := gammaSample(rng, k)
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-k)/k > 0.03 {
+			t.Errorf("k=%g: mean = %.4f, want %.4f ± 3%%", k, mean, k)
+		}
+		if math.Abs(variance-k)/k > 0.08 {
+			t.Errorf("k=%g: variance = %.4f, want %.4f ± 8%%", k, variance, k)
+		}
+	}
+}
+
+func BenchmarkArrivalsPoisson(b *testing.B) {
+	s := Scenario{Seed: 1, Rate: 1000, Process: "poisson", DurationMS: 1 << 30, Tenants: oneTenant}
+	a, err := NewArrivals(s, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Next()
+	}
+}
+
+func BenchmarkArrivalsDiurnalGamma(b *testing.B) {
+	s := Scenario{
+		Seed: 1, Rate: 1000, Process: "gamma", Shape: 0.5, DurationMS: 1 << 30,
+		DiurnalAmp: 0.8, DiurnalPeriodMS: 1000, Tenants: oneTenant,
+	}
+	a, err := NewArrivals(s, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Next()
+	}
+}

@@ -1,0 +1,346 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"piumagcn/internal/bench"
+	"piumagcn/internal/serve"
+)
+
+// Request is one scheduled request as handed to the client.
+type Request struct {
+	Seq        int64
+	Offset     time.Duration // scheduled issue offset from run start
+	Tenant     string
+	Class      string
+	Experiment string
+	Options    bench.Options
+	SLO        time.Duration
+}
+
+// Response is a client's outcome for one request. A zero Latency tells
+// the engine to use its own clock measurement; deterministic fake
+// clients set it explicitly.
+type Response struct {
+	HTTPStatus int
+	RunStatus  string
+	RunID      string
+	Err        string
+	Latency    time.Duration
+}
+
+// Client executes one request. Implementations must be safe for
+// concurrent use: the engine is open-loop and dispatches every request
+// at its scheduled time regardless of how many are still in flight.
+type Client interface {
+	Do(ctx context.Context, req Request) Response
+}
+
+// Clock paces the engine. The default is the wall clock; tests inject a
+// virtual clock so determinism tests do not depend on scheduler timing.
+type Clock interface {
+	// Start marks the run epoch.
+	Start()
+	// Since is the elapsed time from the epoch.
+	Since() time.Duration
+	// SleepUntil blocks until the given offset from the epoch (false if
+	// the context was canceled first). Offsets in the past return
+	// immediately.
+	SleepUntil(ctx context.Context, offset time.Duration) bool
+}
+
+// wallClock is the real-time Clock.
+type wallClock struct{ epoch time.Time }
+
+func (c *wallClock) Start()               { c.epoch = time.Now() }
+func (c *wallClock) Since() time.Duration { return time.Since(c.epoch) }
+func (c *wallClock) SleepUntil(ctx context.Context, offset time.Duration) bool {
+	d := offset - c.Since()
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// shedErr marks a synthetic response for a request the engine refused
+// to dispatch because MaxInFlight was reached. Sheds count as
+// backpressure (the generator protecting itself is the same signal as
+// the server protecting itself).
+const shedErr = "workload: shed (max in-flight reached)"
+
+// defaultMaxInFlight bounds concurrent dispatches; an open-loop
+// generator against a stalled server would otherwise grow goroutines
+// without bound.
+const defaultMaxInFlight = 512
+
+// Engine runs one scenario against a Client: it derives the full
+// request schedule from the scenario seed, issues each request at its
+// scheduled offset, records the trace (when a TraceWriter is attached)
+// and reduces the outcomes to a Report.
+type Engine struct {
+	Scenario Scenario
+	Client   Client
+	// Clock paces issue times (nil = wall clock).
+	Clock Clock
+	// Trace, when non-nil, records the run.
+	Trace *TraceWriter
+	// MaxInFlight bounds concurrent dispatches (0 = 512; negative =
+	// unbounded). Requests over the cap settle as sheds.
+	MaxInFlight int
+	// Metrics, when non-nil, tracks live client-side counters.
+	Metrics *Metrics
+}
+
+// schedule derives the full deterministic request schedule up front.
+// Two independent generators keep the draw streams stable: the arrival
+// rng is consumed only by inter-arrival draws, the pick rng only by
+// tenant/template selection, so adding a tenant does not perturb the
+// arrival times.
+func (e *Engine) schedule() ([]Request, error) {
+	sc := e.Scenario.normalized()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	arrivals, err := NewArrivals(sc, rand.New(rand.NewSource(sc.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	pick := rand.New(rand.NewSource(sc.Seed + 1))
+	var cumWeight []float64
+	total := 0.0
+	for _, t := range sc.Tenants {
+		total += t.Weight
+		cumWeight = append(cumWeight, total)
+	}
+	var reqs []Request
+	for {
+		offset, ok := arrivals.Next()
+		if !ok {
+			break
+		}
+		// Tenant pick: inverse CDF over the cumulative weights.
+		x := pick.Float64() * total
+		ti := sort.SearchFloat64s(cumWeight, x)
+		if ti >= len(sc.Tenants) {
+			ti = len(sc.Tenants) - 1
+		}
+		t := sc.Tenants[ti]
+		reqs = append(reqs, Request{
+			Seq:        int64(len(reqs)),
+			Offset:     offset,
+			Tenant:     t.Name,
+			Class:      t.Class,
+			Experiment: t.Experiment,
+			Options:    sc.TemplateOptions(ti, pick.Intn(t.Templates)),
+			SLO:        t.SLO(),
+		})
+	}
+	return reqs, nil
+}
+
+// Run executes the scenario and returns its report. Canceling the
+// context stops issuing new requests; already-dispatched requests run
+// to completion under their own context handling.
+func (e *Engine) Run(ctx context.Context) (*Report, error) {
+	reqs, err := e.schedule()
+	if err != nil {
+		return nil, err
+	}
+	return e.run(ctx, reqs, nil, false)
+}
+
+// Replay re-executes a recorded trace's request schedule against the
+// client. The recorded request payload bytes are re-framed verbatim, so
+// a replayed trace's request stream is byte-identical to its source.
+func (e *Engine) Replay(ctx context.Context, tr *Trace) (*Report, error) {
+	if len(tr.Requests) != len(tr.RawRequests) {
+		return nil, fmt.Errorf("workload: trace requests (%d) and raw payloads (%d) out of sync", len(tr.Requests), len(tr.RawRequests))
+	}
+	e.Scenario = tr.Scenario
+	reqs := make([]Request, len(tr.Requests))
+	byTenant := make(map[string]Tenant, len(tr.Scenario.Tenants))
+	for _, t := range tr.Scenario.normalized().Tenants {
+		byTenant[t.Name] = t
+	}
+	for i, r := range tr.Requests {
+		reqs[i] = Request{
+			Seq:        r.Seq,
+			Offset:     r.Offset(),
+			Tenant:     r.Tenant,
+			Class:      r.Class,
+			Experiment: r.Experiment,
+			Options:    r.Options,
+			SLO:        byTenant[r.Tenant].SLO(),
+		}
+	}
+	return e.run(ctx, reqs, tr.RawRequests, true)
+}
+
+// run is the shared open-loop core. raw, when non-nil, holds recorded
+// request payloads to re-frame verbatim (replay); otherwise request
+// frames are freshly encoded.
+func (e *Engine) run(ctx context.Context, reqs []Request, raw [][]byte, replayed bool) (*Report, error) {
+	if e.Client == nil {
+		return nil, fmt.Errorf("workload: engine needs a client")
+	}
+	clock := e.Clock
+	if clock == nil {
+		clock = &wallClock{}
+	}
+	maxInFlight := e.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = defaultMaxInFlight
+	}
+
+	traceReqs := make([]TraceRequest, len(reqs))
+	for i, r := range reqs {
+		traceReqs[i] = TraceRequest{
+			Seq:        r.Seq,
+			OffsetUS:   r.Offset.Microseconds(),
+			Tenant:     r.Tenant,
+			Class:      r.Class,
+			Experiment: r.Experiment,
+			Options:    r.Options,
+		}
+	}
+
+	responses := make([]TraceResponse, len(reqs))
+	settled := make([]bool, len(reqs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var inFlight chan struct{}
+	if maxInFlight > 0 {
+		inFlight = make(chan struct{}, maxInFlight)
+	}
+
+	record := func(seq int64, resp TraceResponse) {
+		mu.Lock()
+		responses[seq] = resp
+		settled[seq] = true
+		mu.Unlock()
+		if e.Metrics != nil {
+			e.Metrics.observe(reqs[seq].Class, classify(resp), resp.Latency())
+		}
+	}
+
+	clock.Start()
+	issued := 0
+	for i := range reqs {
+		req := reqs[i]
+		if !clock.SleepUntil(ctx, req.Offset) {
+			break // canceled: remaining requests stay unsettled
+		}
+		// The request frame is written at issue time, in seq order, from
+		// this single scheduler goroutine.
+		if e.Trace != nil {
+			var err error
+			if raw != nil {
+				err = e.Trace.WriteRequestRaw(raw[i])
+			} else {
+				traceReqs[i].Kind = "req"
+				_, err = e.Trace.WriteRequest(traceReqs[i])
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		issued++
+		// Open loop: never wait for capacity. Over the cap the request
+		// settles immediately as a shed.
+		if inFlight != nil {
+			select {
+			case inFlight <- struct{}{}:
+			default:
+				record(req.Seq, TraceResponse{Seq: req.Seq, Err: shedErr})
+				continue
+			}
+		}
+		if e.Metrics != nil {
+			e.Metrics.inFlight.Add(1)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := clock.Since()
+			resp := e.Client.Do(ctx, req)
+			if resp.Latency == 0 {
+				resp.Latency = clock.Since() - start
+			}
+			if inFlight != nil {
+				<-inFlight
+			}
+			if e.Metrics != nil {
+				e.Metrics.inFlight.Add(-1)
+			}
+			record(req.Seq, TraceResponse{
+				Seq:        req.Seq,
+				HTTPStatus: resp.HTTPStatus,
+				RunStatus:  resp.RunStatus,
+				RunID:      resp.RunID,
+				LatencyUS:  resp.Latency.Microseconds(),
+				Err:        resp.Err,
+			})
+		}()
+	}
+	wg.Wait()
+	elapsed := clock.Since()
+
+	// Response frames are written after the run, in seq order, so the
+	// trace layout is a pure function of the outcomes (not of goroutine
+	// completion order).
+	var outResps []TraceResponse
+	for seq := 0; seq < issued; seq++ {
+		if !settled[seq] {
+			continue
+		}
+		if e.Trace != nil {
+			if err := e.Trace.WriteResponse(responses[seq]); err != nil {
+				return nil, err
+			}
+		}
+		outResps = append(outResps, responses[seq])
+	}
+
+	rep := BuildReport(e.Scenario, traceReqs[:issued], outResps, elapsed)
+	rep.Replayed = replayed
+	return rep, nil
+}
+
+// HTTPClient adapts serve.Client to the engine: each request becomes a
+// blocking POST /v1/runs?wait=true carrying the tenant's SLO class.
+type HTTPClient struct {
+	C *serve.Client
+	// Timeout bounds one request (0 = no per-request deadline).
+	Timeout time.Duration
+}
+
+// Do submits the request and classifies the outcome.
+func (h *HTTPClient) Do(ctx context.Context, req Request) Response {
+	if h.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.Timeout)
+		defer cancel()
+	}
+	res, status, err := h.C.SubmitAndWait(ctx, req.Experiment, req.Options, req.Class)
+	if err != nil {
+		return Response{Err: err.Error()}
+	}
+	return Response{
+		HTTPStatus: status,
+		RunStatus:  string(res.Status),
+		RunID:      res.ID,
+		Err:        res.Error,
+	}
+}

@@ -1,0 +1,339 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"piumagcn/internal/bench"
+	"piumagcn/internal/serve"
+)
+
+// virtualClock advances instantly to each requested offset, so engine
+// tests run in microseconds of wall time and — paired with a
+// deterministic client — produce bit-identical runs.
+type virtualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *virtualClock) Start() {}
+
+func (c *virtualClock) Since() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *virtualClock) SleepUntil(ctx context.Context, offset time.Duration) bool {
+	c.mu.Lock()
+	if offset > c.now {
+		c.now = offset
+	}
+	c.mu.Unlock()
+	return ctx.Err() == nil
+}
+
+// fakeClient settles every request successfully with a latency that is
+// a pure function of the sequence number.
+type fakeClient struct{}
+
+func (fakeClient) Do(_ context.Context, req Request) Response {
+	return Response{
+		HTTPStatus: 200,
+		RunStatus:  "done",
+		RunID:      req.Experiment + "-run",
+		Latency:    time.Duration(req.Seq%7+1) * time.Millisecond,
+	}
+}
+
+// runDeterministic runs sc against the fake client under a virtual
+// clock, recording into a buffer, and returns (trace bytes, report).
+func runDeterministic(t *testing.T, sc Scenario) ([]byte, *Report) {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{
+		Scenario:    sc,
+		Client:      fakeClient{},
+		Clock:       &virtualClock{},
+		Trace:       tw,
+		MaxInFlight: -1, // unbounded: shed decisions would race the fake client
+	}
+	rep, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rep
+}
+
+func reportJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestRunDeterministic is the core acceptance property: the same
+// seeded scenario run twice produces byte-identical traces and
+// byte-identical reports.
+func TestRunDeterministic(t *testing.T) {
+	sc, err := Named("canonical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the horizon so the test stays fast; determinism is
+	// independent of scale.
+	sc.DurationMS = 1000
+	trace1, rep1 := runDeterministic(t, sc)
+	trace2, rep2 := runDeterministic(t, sc)
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatalf("traces differ across identical runs (%d vs %d bytes)", len(trace1), len(trace2))
+	}
+	j1, j2 := reportJSON(t, rep1), reportJSON(t, rep2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("reports differ across identical runs:\n%s\nvs\n%s", j1, j2)
+	}
+	if rep1.Requests == 0 || rep1.Completed != rep1.Requests {
+		t.Fatalf("fake-client run should complete everything: %+v", rep1)
+	}
+}
+
+// TestReplayByteIdentical records a run, replays the decoded trace
+// with the same deterministic client, and requires the replayed trace
+// to be byte-identical to the original — requests by construction
+// (verbatim re-framing), responses because the client is a pure
+// function of the schedule.
+func TestReplayByteIdentical(t *testing.T) {
+	sc, err := Named("diurnal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.DurationMS = 1000
+	original, rep := runDeterministic(t, sc)
+	tr, err := ReadTrace(bytes.NewReader(original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Scenario.String(), sc.normalized().String(); got != want {
+		t.Fatalf("decoded scenario drifted:\n  got:  %s\n  want: %s", got, want)
+	}
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, tr.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Client: fakeClient{}, Clock: &virtualClock{}, Trace: tw, MaxInFlight: -1}
+	rep2, err := e.Replay(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(original, buf.Bytes()) {
+		t.Fatalf("replayed trace differs from original (%d vs %d bytes)", len(original), len(buf.Bytes()))
+	}
+	if !rep2.Replayed {
+		t.Error("replay report not marked Replayed")
+	}
+	// Everything but the Replayed marker must match the original report.
+	rep2.Replayed = false
+	if got, want := reportJSON(t, rep2), reportJSON(t, rep); !bytes.Equal(got, want) {
+		t.Fatalf("replay report differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// instantExperiment is a served experiment that completes immediately.
+func instantExperiment(id string) bench.Experiment {
+	return bench.Experiment{
+		ID:    id,
+		Title: "instant " + id,
+		Run: func(ctx context.Context, o bench.Options) (*bench.Report, error) {
+			r := &bench.Report{ID: id, Title: "instant"}
+			r.Add("section", "body")
+			return r, nil
+		},
+	}
+}
+
+// TestRecordReplayAgainstServe exercises the full HTTP path: record a
+// run against a live httptest serve instance, replay the trace against
+// the same server, and require the request streams of the two traces to
+// be byte-identical (responses carry measured wall-clock latencies and
+// may differ).
+func TestRecordReplayAgainstServe(t *testing.T) {
+	srv := serve.New(serve.Config{Experiments: []bench.Experiment{instantExperiment("table1")}})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sc, err := Parse("name=ht,seed=5,rate=200,duration=250ms;" +
+		"tenant=a,class=gold,weight=2,experiment=table1,templates=2;" +
+		"tenant=b,class=silver,experiment=table1,templates=2;" +
+		"tenant=c,class=batch,experiment=table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &HTTPClient{C: serve.NewClient(ts.URL, nil), Timeout: 10 * time.Second}
+
+	record := func() *Trace {
+		var buf bytes.Buffer
+		tw, err := NewTraceWriter(&buf, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := &Engine{Scenario: sc, Client: client, Trace: tw}
+		rep, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Requests == 0 {
+			t.Fatal("no requests issued")
+		}
+		if rep.Errors != 0 {
+			t.Fatalf("live run reported %d errors:\n%s", rep.Errors, rep.Render())
+		}
+		tr, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	tr := record()
+	var buf2 bytes.Buffer
+	tw2, err := NewTraceWriter(&buf2, tr.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := &Engine{Client: client, Trace: tw2}
+	rep2, err := e2.Replay(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Errors != 0 {
+		t.Fatalf("replay reported %d errors:\n%s", rep2.Errors, rep2.Render())
+	}
+	tr2, err := ReadTrace(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.RawRequests) != len(tr2.RawRequests) {
+		t.Fatalf("request counts differ: %d vs %d", len(tr.RawRequests), len(tr2.RawRequests))
+	}
+	for i := range tr.RawRequests {
+		if !bytes.Equal(tr.RawRequests[i], tr2.RawRequests[i]) {
+			t.Fatalf("request frame %d differs:\n%s\nvs\n%s", i, tr.RawRequests[i], tr2.RawRequests[i])
+		}
+	}
+	// The engine submitted runs with the SLO class attached; the server
+	// must have accounted them under the bounded class families.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	exposition, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`piumaserve_class_requests_total{class="gold"}`,
+		`piumaserve_class_requests_total{class="silver"}`,
+		`piumaserve_class_requests_total{class="batch"}`,
+	} {
+		if !strings.Contains(string(exposition), want) {
+			t.Errorf("server metrics missing %s", want)
+		}
+	}
+}
+
+// TestShedOverCap checks the open-loop guarantee: requests over the
+// in-flight cap settle immediately as backpressure instead of queueing
+// in the generator.
+func TestShedOverCap(t *testing.T) {
+	release := make(chan struct{})
+	blocked := blockingClient{release: release}
+	sc, err := Parse("seed=1,rate=1000,duration=1s,max-requests=4;tenant=a,class=gold,experiment=table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Scenario: sc, Client: blocked, Clock: &virtualClock{}, MaxInFlight: 1}
+	done := make(chan *Report, 1)
+	go func() {
+		rep, err := e.Run(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	// The first request holds the only slot; the remaining three must
+	// shed, after which releasing the client lets the run finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	rep := <-done
+	if rep == nil {
+		t.Fatal("run failed")
+	}
+	if rep.Backpressure != 3 || rep.Completed != 1 {
+		t.Fatalf("want 1 completed + 3 shed, got %+v", rep)
+	}
+}
+
+// blockingClient blocks every request until release is closed.
+type blockingClient struct{ release <-chan struct{} }
+
+func (c blockingClient) Do(ctx context.Context, req Request) Response {
+	select {
+	case <-c.release:
+		return Response{HTTPStatus: 200, RunStatus: "done", Latency: time.Millisecond}
+	case <-ctx.Done():
+		return Response{Err: ctx.Err().Error()}
+	}
+}
+
+// TestEngineMetrics checks the client-side metric families render with
+// bounded labels.
+func TestEngineMetrics(t *testing.T) {
+	sc, err := Named("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.DurationMS = 300
+	m := NewMetrics()
+	e := &Engine{Scenario: sc, Client: fakeClient{}, Clock: &virtualClock{}, MaxInFlight: -1, Metrics: m}
+	rep, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	m.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		`piumaload_requests_total{class="gold"}`,
+		`piumaload_outcomes_total{outcome="ok"}`,
+		"piumaload_request_seconds_bucket",
+		"piumaload_in_flight 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	if rep.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+}

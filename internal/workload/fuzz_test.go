@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseScenario drives the scenario decoder with arbitrary input:
+// it must never panic, every accepted scenario must validate, and the
+// canonical String encoding must round-trip to the identical normalized
+// scenario. The named scenarios seed the corpus alongside hostile
+// inputs exercising the delimiter, duration and numeric edges.
+func FuzzParseScenario(f *testing.F) {
+	for _, seed := range NamedSpecs() {
+		f.Add(seed)
+	}
+	for _, seed := range []string{
+		"",
+		";",
+		";;;",
+		"rate=10,duration=1s;tenant=a,class=gold,experiment=table1",
+		"rate=10,duration=1s;tenant=a,class=gold,experiment=table1,slo=750ms,weight=2.5,templates=3,max-sim-edges=65536",
+		"name=x,seed=-1,rate=1e6,process=weibull,shape=1000,duration=1ms,max-requests=1",
+		"rate=10,duration=1s,diurnal-amp=0.999,diurnal-period=1ms;tenant=a,class=batch,experiment=x",
+		"rate=nan,duration=1s;tenant=a,class=gold,experiment=table1",
+		"rate=+Inf,duration=1s;tenant=a,class=gold,experiment=table1",
+		"duration=9223372036854ms,rate=1;tenant=a,class=gold,experiment=table1",
+		"rate=10,duration=1s;tenant==,class=gold,experiment=table1",
+		"rate=10,duration=1s;tenant=a,tenant=b,class=gold,experiment=table1",
+		" rate = 10 ,, duration=1s ; tenant=a , class=gold , experiment=table1 ",
+		"rate=10,duration=500us;tenant=a,class=gold,experiment=table1",
+		"shape=0.1,process=gamma,rate=10,duration=1s;tenant=a,class=silver,experiment=fig9",
+		"=",
+		"key=value",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted invalid scenario %+v: %v", in, s, verr)
+		}
+		enc := s.String()
+		round, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", in, enc, err)
+		}
+		if !reflect.DeepEqual(round, s) {
+			t.Fatalf("round trip of %q via %q:\n%+v\n!=\n%+v", in, enc, round, s)
+		}
+		if enc2 := round.String(); enc2 != enc {
+			t.Fatalf("String of %q not canonical: %q vs %q", in, enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"io"
+	"time"
+
+	"piumagcn/internal/obs"
+)
+
+// latencyBounds are the client-side histogram bucket upper bounds in
+// seconds (matching the serving tier's buckets so the two sides of a
+// load test compare directly).
+var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 25, 100, 500}
+
+// Metrics tracks a running engine's live client-side counters,
+// rendered in the same Prometheus text format as the server so one
+// tool chain reads both.
+type Metrics struct {
+	reg      *obs.Registry
+	requests *obs.CounterVec
+	outcomes *obs.CounterVec
+	latency  *obs.Histogram
+	inFlight *obs.Gauge
+}
+
+// NewMetrics returns a fresh metric set.
+func NewMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	return &Metrics{
+		reg: reg,
+		requests: reg.CounterVec("piumaload_requests_total",
+			"Requests issued, by SLO class.", "class"),
+		outcomes: reg.CounterVec("piumaload_outcomes_total",
+			"Settled requests, by outcome.", "outcome"),
+		latency: reg.Histogram("piumaload_request_seconds",
+			"Client-observed request latency.", latencyBounds),
+		inFlight: reg.Gauge("piumaload_in_flight",
+			"Requests currently awaiting a response."),
+	}
+}
+
+// observe records one settled request. Classes and outcomes are
+// normalized onto fixed vocabularies via constant-armed switches, so
+// the label sets stay bounded no matter what a scenario contains.
+func (m *Metrics) observe(class, outcome string, latency time.Duration) {
+	switch class {
+	case ClassGold:
+		m.classInc(ClassGold)
+	case ClassSilver:
+		m.classInc(ClassSilver)
+	case ClassBronze:
+		m.classInc(ClassBronze)
+	case ClassBatch:
+		m.classInc(ClassBatch)
+	default:
+		m.classInc("other")
+	}
+	switch outcome {
+	case outcomeOK:
+		m.outcomeInc(outcomeOK)
+	case outcomeTimeout:
+		m.outcomeInc(outcomeTimeout)
+	case outcomeBackpressure:
+		m.outcomeInc(outcomeBackpressure)
+	default:
+		m.outcomeInc(outcomeError)
+	}
+	m.latency.Observe(latency.Seconds())
+}
+
+func (m *Metrics) classInc(class string)     { m.requests.With(class).Inc() }
+func (m *Metrics) outcomeInc(outcome string) { m.outcomes.With(outcome).Inc() }
+
+// Render writes the Prometheus text exposition.
+func (m *Metrics) Render(w io.Writer) { m.reg.Render(w) }

@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"piumagcn/internal/textplot"
+)
+
+// Outcome classification of a settled request. Backpressure (429/503
+// and engine-side sheds) is accounted separately from errors: a server
+// refusing load under its admission policy is the system working, a
+// 500 or transport failure is it breaking.
+const (
+	outcomeOK           = "ok"
+	outcomeError        = "error"
+	outcomeTimeout      = "timeout"
+	outcomeBackpressure = "backpressure"
+	outcomeUnsettled    = "unsettled"
+)
+
+// classify maps one response onto an outcome.
+func classify(r TraceResponse) string {
+	switch {
+	case r.HTTPStatus == 429 || r.HTTPStatus == 503:
+		return outcomeBackpressure
+	case r.HTTPStatus == 0 && r.Err == shedErr:
+		return outcomeBackpressure
+	case r.RunStatus == "timeout":
+		return outcomeTimeout
+	case (r.HTTPStatus == 200 || r.HTTPStatus == 202) && r.RunStatus == "done":
+		return outcomeOK
+	default:
+		return outcomeError
+	}
+}
+
+// ClassReport aggregates one SLO class. Latency percentiles are
+// microsecond integers over successful requests (nearest-rank), so a
+// report built from a given trace is byte-deterministic.
+type ClassReport struct {
+	Class     string `json:"class"`
+	Requests  int64  `json:"requests"`
+	Completed int64  `json:"completed"`
+	Errors    int64  `json:"errors"`
+	Timeouts  int64  `json:"timeouts"`
+	// Backpressure counts 429/503 responses and engine-side sheds.
+	Backpressure int64 `json:"backpressure"`
+	// Unsettled counts requests with no recorded response (run aborted).
+	Unsettled int64 `json:"unsettled,omitempty"`
+	P50US     int64 `json:"p50_us"`
+	P95US     int64 `json:"p95_us"`
+	P99US     int64 `json:"p99_us"`
+	// SLOAttained is the fraction of completed requests that met their
+	// tenant's latency target.
+	SLOAttained float64 `json:"slo_attained"`
+}
+
+// TenantReport aggregates one tenant, with the shares that feed the
+// fairness index.
+type TenantReport struct {
+	Tenant      string  `json:"tenant"`
+	Class       string  `json:"class"`
+	Weight      float64 `json:"weight"`
+	Requests    int64   `json:"requests"`
+	Completed   int64   `json:"completed"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// FairShare is weight/Σweights; AchievedShare is
+	// completed/Σcompleted. A fair system keeps them close.
+	FairShare     float64 `json:"fair_share"`
+	AchievedShare float64 `json:"achieved_share"`
+}
+
+// Report is the structured outcome of one load run.
+type Report struct {
+	// Scenario is the canonical spec string — the report's provenance.
+	Scenario string `json:"scenario"`
+	// Replayed marks a report built by replaying a recorded trace.
+	Replayed bool `json:"replayed,omitempty"`
+	// DurationMS is the schedule horizon; ElapsedMS how long the run
+	// actually took (engine clock).
+	DurationMS int64 `json:"duration_ms"`
+	ElapsedMS  int64 `json:"elapsed_ms"`
+	Requests   int64 `json:"requests"`
+	Completed  int64 `json:"completed"`
+	// Errors excludes backpressure; a clean run has zero.
+	Errors       int64 `json:"errors"`
+	Timeouts     int64 `json:"timeouts"`
+	Backpressure int64 `json:"backpressure"`
+	Unsettled    int64 `json:"unsettled,omitempty"`
+	// OfferedRPS is the scenario's mean offered rate; AchievedRPS is
+	// completed requests over the schedule horizon.
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Fairness is the Jain index over weight-normalized per-tenant
+	// completions: 1.0 is perfectly weighted-fair, 1/n is one tenant
+	// taking everything.
+	Fairness float64        `json:"fairness"`
+	Classes  []ClassReport  `json:"classes"`
+	Tenants  []TenantReport `json:"tenants"`
+}
+
+// BuildReport reduces a trace (in-memory or decoded from disk) to a
+// report. elapsed is the engine-clock run time.
+func BuildReport(sc Scenario, reqs []TraceRequest, resps []TraceResponse, elapsed time.Duration) *Report {
+	sc = sc.normalized()
+	rep := &Report{
+		Scenario:   sc.String(),
+		DurationMS: sc.DurationMS,
+		ElapsedMS:  elapsed.Milliseconds(),
+		Requests:   int64(len(reqs)),
+		OfferedRPS: sc.Rate,
+	}
+	byTenant := make(map[string]Tenant, len(sc.Tenants))
+	for _, t := range sc.Tenants {
+		byTenant[t.Name] = t
+	}
+	bySeq := make(map[int64]TraceResponse, len(resps))
+	for _, r := range resps {
+		bySeq[r.Seq] = r
+	}
+
+	type classAgg struct {
+		ClassReport
+		latencies []int64
+		sloOK     int64
+	}
+	classes := make(map[string]*classAgg)
+	type tenantAgg struct{ reqs, completed int64 }
+	tenants := make(map[string]*tenantAgg)
+
+	for _, req := range reqs {
+		ca := classes[req.Class]
+		if ca == nil {
+			ca = &classAgg{ClassReport: ClassReport{Class: req.Class}}
+			classes[req.Class] = ca
+		}
+		ta := tenants[req.Tenant]
+		if ta == nil {
+			ta = &tenantAgg{}
+			tenants[req.Tenant] = ta
+		}
+		ca.Requests++
+		ta.reqs++
+		resp, settled := bySeq[req.Seq]
+		if !settled {
+			ca.Unsettled++
+			rep.Unsettled++
+			continue
+		}
+		switch classify(resp) {
+		case outcomeOK:
+			ca.Completed++
+			ta.completed++
+			rep.Completed++
+			ca.latencies = append(ca.latencies, resp.LatencyUS)
+			if resp.Latency() <= byTenant[req.Tenant].SLO() {
+				ca.sloOK++
+			}
+		case outcomeTimeout:
+			ca.Timeouts++
+			rep.Timeouts++
+		case outcomeBackpressure:
+			ca.Backpressure++
+			rep.Backpressure++
+		default:
+			ca.Errors++
+			rep.Errors++
+		}
+	}
+
+	// Classes render in the fixed vocabulary order; only classes the
+	// scenario used appear.
+	for _, class := range Classes {
+		ca, ok := classes[class]
+		if !ok {
+			continue
+		}
+		sort.Slice(ca.latencies, func(i, j int) bool { return ca.latencies[i] < ca.latencies[j] })
+		ca.P50US = percentile(ca.latencies, 50)
+		ca.P95US = percentile(ca.latencies, 95)
+		ca.P99US = percentile(ca.latencies, 99)
+		if ca.Completed > 0 {
+			ca.SLOAttained = float64(ca.sloOK) / float64(ca.Completed)
+		}
+		rep.Classes = append(rep.Classes, ca.ClassReport)
+	}
+
+	// Tenants render in scenario order.
+	var totalWeight float64
+	for _, t := range sc.Tenants {
+		totalWeight += t.Weight
+	}
+	horizon := sc.Duration().Seconds()
+	var fairness []float64
+	for _, t := range sc.Tenants {
+		ta := tenants[t.Name]
+		if ta == nil {
+			ta = &tenantAgg{}
+		}
+		tr := TenantReport{
+			Tenant:    t.Name,
+			Class:     t.Class,
+			Weight:    t.Weight,
+			Requests:  ta.reqs,
+			Completed: ta.completed,
+			FairShare: t.Weight / totalWeight,
+		}
+		if horizon > 0 {
+			tr.AchievedRPS = float64(ta.completed) / horizon
+		}
+		if rep.Completed > 0 {
+			tr.AchievedShare = float64(ta.completed) / float64(rep.Completed)
+		}
+		rep.Tenants = append(rep.Tenants, tr)
+		fairness = append(fairness, float64(ta.completed)/t.Weight)
+	}
+	rep.Fairness = JainIndex(fairness)
+	if horizon > 0 {
+		rep.AchievedRPS = float64(rep.Completed) / horizon
+	}
+	return rep
+}
+
+// percentile is the nearest-rank percentile of sorted microsecond
+// latencies (0 for an empty slice).
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (len(sorted)*p + 99) / 100 // ceil(n·p/100)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// JainIndex is Jain's fairness index (Σx)²/(n·Σx²) over the
+// weight-normalized allocations x. It is 1.0 when every tenant gets
+// exactly its weighted share, 1/n when one tenant takes everything,
+// and 0 for an empty or all-zero allocation.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// WriteJSON writes the canonical indented JSON encoding.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// fmtUS renders a microsecond latency as milliseconds with fixed
+// precision (deterministic formatting).
+func fmtUS(us int64) string {
+	return strconv.FormatFloat(float64(us)/1000, 'f', 2, 64) + "ms"
+}
+
+// Render renders the human-readable report: summary, per-class latency
+// table, per-tenant fairness table and an achieved-share bar chart.
+func (r *Report) Render() string {
+	var b strings.Builder
+	title := "workload report"
+	if r.Replayed {
+		title += " (replayed trace)"
+	}
+	fmt.Fprintf(&b, "== %s ==\nscenario: %s\n\n", title, r.Scenario)
+	fmt.Fprintf(&b, "offered %.4g req/s for %s · achieved %.4g req/s · elapsed %s\n",
+		r.OfferedRPS, time.Duration(r.DurationMS)*time.Millisecond,
+		r.AchievedRPS, time.Duration(r.ElapsedMS)*time.Millisecond)
+	fmt.Fprintf(&b, "requests %d · completed %d · errors %d · timeouts %d · backpressure %d",
+		r.Requests, r.Completed, r.Errors, r.Timeouts, r.Backpressure)
+	if r.Unsettled > 0 {
+		fmt.Fprintf(&b, " · unsettled %d", r.Unsettled)
+	}
+	fmt.Fprintf(&b, "\njain fairness index: %.4f over %d tenants\n", r.Fairness, len(r.Tenants))
+
+	ct := textplot.Table{Headers: []string{"class", "reqs", "ok", "err", "t/o", "bp", "p50", "p95", "p99", "slo%"}}
+	for _, c := range r.Classes {
+		ct.AddRow(c.Class,
+			strconv.FormatInt(c.Requests, 10), strconv.FormatInt(c.Completed, 10),
+			strconv.FormatInt(c.Errors, 10), strconv.FormatInt(c.Timeouts, 10),
+			strconv.FormatInt(c.Backpressure, 10),
+			fmtUS(c.P50US), fmtUS(c.P95US), fmtUS(c.P99US),
+			strconv.FormatFloat(c.SLOAttained*100, 'f', 1, 64))
+	}
+	b.WriteString("\n-- per-SLO-class latency --\n")
+	b.WriteString(ct.String())
+
+	tt := textplot.Table{Headers: []string{"tenant", "class", "weight", "reqs", "ok", "rps", "fair", "got"}}
+	labels := make([]string, 0, len(r.Tenants))
+	shares := make([]float64, 0, len(r.Tenants))
+	for _, t := range r.Tenants {
+		tt.AddRow(t.Tenant, t.Class,
+			strconv.FormatFloat(t.Weight, 'g', -1, 64),
+			strconv.FormatInt(t.Requests, 10), strconv.FormatInt(t.Completed, 10),
+			strconv.FormatFloat(t.AchievedRPS, 'f', 2, 64),
+			strconv.FormatFloat(t.FairShare, 'f', 3, 64),
+			strconv.FormatFloat(t.AchievedShare, 'f', 3, 64))
+		labels = append(labels, t.Tenant)
+		shares = append(shares, t.AchievedShare)
+	}
+	b.WriteString("\n-- per-tenant fairness --\n")
+	b.WriteString(tt.String())
+	b.WriteString("\n-- achieved share --\n")
+	b.WriteString(textplot.Bars(labels, shares, 40))
+	return b.String()
+}

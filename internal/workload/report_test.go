@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all-zero", []float64{0, 0, 0}, 0},
+		{"equal", []float64{5, 5, 5, 5}, 1},
+		{"one-hot", []float64{9, 0, 0}, 1.0 / 3},
+		{"two-to-one", []float64{2, 1}, 0.9},
+	}
+	for _, tc := range cases {
+		if got := JainIndex(tc.xs); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: JainIndex = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    int
+		want int64
+	}{{50, 50}, {95, 100}, {99, 100}, {100, 100}, {1, 10}}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("p%d = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("p50 of empty = %d, want 0", got)
+	}
+	if got := percentile([]int64{42}, 99); got != 42 {
+		t.Errorf("p99 of singleton = %d, want 42", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		resp TraceResponse
+		want string
+	}{
+		{"done-200", TraceResponse{HTTPStatus: 200, RunStatus: "done"}, outcomeOK},
+		{"done-202", TraceResponse{HTTPStatus: 202, RunStatus: "done"}, outcomeOK},
+		{"queue-full", TraceResponse{HTTPStatus: 429}, outcomeBackpressure},
+		{"draining", TraceResponse{HTTPStatus: 503}, outcomeBackpressure},
+		{"shed", TraceResponse{Err: shedErr}, outcomeBackpressure},
+		{"timeout", TraceResponse{HTTPStatus: 200, RunStatus: "timeout"}, outcomeTimeout},
+		{"failed-run", TraceResponse{HTTPStatus: 200, RunStatus: "failed"}, outcomeError},
+		{"transport", TraceResponse{Err: "connection refused"}, outcomeError},
+		{"server-500", TraceResponse{HTTPStatus: 500}, outcomeError},
+	}
+	for _, tc := range cases {
+		if got := classify(tc.resp); got != tc.want {
+			t.Errorf("%s: classify = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// reportFixture builds a small three-tenant report by hand: gold gets 4
+// completions (one over SLO), silver 2, bronze 1 plus a timeout, an
+// error and an unsettled request.
+func reportFixture(t *testing.T) *Report {
+	t.Helper()
+	sc, err := Parse("name=fix,seed=1,rate=10,duration=1s;" +
+		"tenant=g,class=gold,weight=2,experiment=table1;" +
+		"tenant=s,class=silver,experiment=table1;" +
+		"tenant=b,class=bronze,experiment=table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []TraceRequest
+	var resps []TraceResponse
+	add := func(tenant, class string, resp TraceResponse, settled bool) {
+		seq := int64(len(reqs))
+		reqs = append(reqs, TraceRequest{Seq: seq, Tenant: tenant, Class: class})
+		if settled {
+			resp.Seq = seq
+			resps = append(resps, resp)
+		}
+	}
+	ok := func(latency time.Duration) TraceResponse {
+		return TraceResponse{HTTPStatus: 200, RunStatus: "done", LatencyUS: latency.Microseconds()}
+	}
+	add("g", ClassGold, ok(10*time.Millisecond), true)
+	add("g", ClassGold, ok(20*time.Millisecond), true)
+	add("g", ClassGold, ok(30*time.Millisecond), true)
+	add("g", ClassGold, ok(400*time.Millisecond), true) // misses the 250ms gold SLO
+	add("s", ClassSilver, ok(50*time.Millisecond), true)
+	add("s", ClassSilver, ok(60*time.Millisecond), true)
+	add("b", ClassBronze, ok(70*time.Millisecond), true)
+	add("b", ClassBronze, TraceResponse{HTTPStatus: 200, RunStatus: "timeout"}, true)
+	add("b", ClassBronze, TraceResponse{HTTPStatus: 500}, true)
+	add("b", ClassBronze, TraceResponse{}, false) // unsettled
+	return BuildReport(sc, reqs, resps, 900*time.Millisecond)
+}
+
+func TestBuildReport(t *testing.T) {
+	rep := reportFixture(t)
+	if rep.Requests != 10 || rep.Completed != 7 || rep.Timeouts != 1 || rep.Errors != 1 || rep.Unsettled != 1 {
+		t.Fatalf("totals wrong: %+v", rep)
+	}
+	if len(rep.Classes) != 3 {
+		t.Fatalf("want 3 class rows, got %d", len(rep.Classes))
+	}
+	gold := rep.Classes[0]
+	if gold.Class != ClassGold || gold.Completed != 4 {
+		t.Fatalf("gold row wrong: %+v", gold)
+	}
+	// Nearest-rank over [10, 20, 30, 400]ms: p50 = 20ms, p95 = p99 = 400ms.
+	if gold.P50US != 20_000 || gold.P95US != 400_000 || gold.P99US != 400_000 {
+		t.Fatalf("gold percentiles wrong: %+v", gold)
+	}
+	if gold.SLOAttained != 0.75 {
+		t.Fatalf("gold SLO attainment = %v, want 0.75", gold.SLOAttained)
+	}
+	// Fairness over completed/weight = [2, 2, 1]: J = 25/(3·9) ≈ 0.9259.
+	if want := 25.0 / 27.0; math.Abs(rep.Fairness-want) > 1e-12 {
+		t.Fatalf("fairness = %v, want %v", rep.Fairness, want)
+	}
+	// Offered 10 req/s; achieved 7 completions over the 1s horizon.
+	if rep.AchievedRPS != 7 {
+		t.Fatalf("achieved rps = %v, want 7", rep.AchievedRPS)
+	}
+	if rep.ElapsedMS != 900 {
+		t.Fatalf("elapsed = %v, want 900", rep.ElapsedMS)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	out := reportFixture(t).Render()
+	for _, want := range []string{
+		"per-SLO-class latency",
+		"per-tenant fairness",
+		"achieved share",
+		"jain fairness index: 0.9259 over 3 tenants",
+		"gold", "silver", "bronze",
+		"400.00ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,455 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"piumagcn/internal/bench"
+)
+
+// Tenant is one client population of a scenario: a share of the traffic
+// (Weight), an SLO class, and a request-template pool drawn from
+// bench.Options sweeps (Templates distinct option seeds over the same
+// experiment, so a tenant exercises both the result cache and fresh
+// simulations).
+type Tenant struct {
+	Name  string `json:"name"`
+	Class string `json:"class"`
+	// Weight is the tenant's share of the request mix, relative to the
+	// other tenants' weights (default 1).
+	Weight float64 `json:"weight"`
+	// SLOMillis overrides the class's default latency target (0 keeps
+	// the default; see SLO).
+	SLOMillis int64 `json:"slo_ms,omitempty"`
+	// Experiment is the bench experiment ID every template submits.
+	Experiment string `json:"experiment"`
+	// Templates is the size of the option pool: each template uses a
+	// distinct derived seed, so a scenario controls exactly how many
+	// unique runs (cache misses) a tenant can induce (default 1).
+	Templates int `json:"templates,omitempty"`
+	// MaxSimEdges sizes each template's simulation (0 = the quick
+	// default of 1<<14 edges).
+	MaxSimEdges int64 `json:"max_sim_edges,omitempty"`
+}
+
+// classSLODefaults are the per-class latency targets used when a tenant
+// does not override one.
+var classSLODefaults = map[string]time.Duration{
+	ClassGold:   250 * time.Millisecond,
+	ClassSilver: time.Second,
+	ClassBronze: 5 * time.Second,
+	ClassBatch:  30 * time.Second,
+}
+
+// SLO is the tenant's latency target.
+func (t Tenant) SLO() time.Duration {
+	if t.SLOMillis > 0 {
+		return time.Duration(t.SLOMillis) * time.Millisecond
+	}
+	return classSLODefaults[t.Class]
+}
+
+// Scenario is one reproducible load experiment: every request the
+// engine will issue is a pure function of this value. Durations are
+// millisecond integers in JSON so the encoding is canonical.
+type Scenario struct {
+	Name string `json:"name,omitempty"`
+	// Seed drives every random choice: arrival draws, tenant selection,
+	// template selection.
+	Seed int64 `json:"seed"`
+	// Rate is the mean offered load in requests per second.
+	Rate float64 `json:"rate"`
+	// Process selects the inter-arrival distribution: "poisson",
+	// "gamma" or "weibull" (empty normalizes to "poisson").
+	Process string `json:"process"`
+	// Shape is the Gamma/Weibull shape parameter k. Shape 1 reduces
+	// both to the exponential; k < 1 is burstier than Poisson, k > 1
+	// smoother. Ignored for "poisson".
+	Shape float64 `json:"shape,omitempty"`
+	// DurationMS bounds the request schedule horizon.
+	DurationMS int64 `json:"duration_ms"`
+	// MaxRequests additionally caps the number of issued requests
+	// (0 = duration-bound only).
+	MaxRequests int64 `json:"max_requests,omitempty"`
+	// DiurnalAmp in [0, 1) modulates the instantaneous rate as
+	// rate·(1 + amp·sin(2πt/period)) — a compressed day/night curve.
+	DiurnalAmp float64 `json:"diurnal_amp,omitempty"`
+	// DiurnalPeriodMS is the modulation period (required when amp > 0).
+	DiurnalPeriodMS int64    `json:"diurnal_period_ms,omitempty"`
+	Tenants         []Tenant `json:"tenants"`
+}
+
+// Duration is the schedule horizon.
+func (s Scenario) Duration() time.Duration {
+	return time.Duration(s.DurationMS) * time.Millisecond
+}
+
+// DiurnalPeriod is the rate-modulation period.
+func (s Scenario) DiurnalPeriod() time.Duration {
+	return time.Duration(s.DiurnalPeriodMS) * time.Millisecond
+}
+
+// quickEdges is the default template simulation size (matches
+// bench.QuickOptions).
+const quickEdges = 1 << 14
+
+// TemplateOptions is template i of tenant ti: quick options with a
+// seed derived from (scenario seed, tenant index, template index), so
+// distinct templates are distinct content-addressed runs and identical
+// scenarios reproduce identical run IDs.
+func (s Scenario) TemplateOptions(ti, i int) bench.Options {
+	t := s.Tenants[ti]
+	edges := t.MaxSimEdges
+	if edges <= 0 {
+		edges = quickEdges
+	}
+	return bench.Options{
+		MaxSimEdges: edges,
+		Quick:       true,
+		Seed:        s.Seed + int64(ti+1)*1_000 + int64(i),
+	}
+}
+
+// processes is the valid Process vocabulary.
+var processes = map[string]bool{"poisson": true, "gamma": true, "weibull": true}
+
+// normalized folds equivalent encodings onto one canonical form, so
+// Parse(s.String()) round-trips and JSON artifacts diff cleanly.
+func (s Scenario) normalized() Scenario {
+	if s.Process == "" {
+		s.Process = "poisson"
+	}
+	if s.Process == "poisson" {
+		s.Shape = 0
+	} else if s.Shape == 0 {
+		s.Shape = 1
+	}
+	if s.DiurnalAmp == 0 {
+		s.DiurnalPeriodMS = 0
+	}
+	ts := append([]Tenant(nil), s.Tenants...)
+	for i := range ts {
+		if ts[i].Weight == 0 {
+			ts[i].Weight = 1
+		}
+		if ts[i].Templates == 0 {
+			ts[i].Templates = 1
+		}
+	}
+	s.Tenants = ts
+	return s
+}
+
+// Validate rejects scenarios the engine cannot run deterministically.
+func (s Scenario) Validate() error {
+	s = s.normalized()
+	switch {
+	case !processes[s.Process]:
+		return fmt.Errorf("workload: unknown process %q (valid: gamma, poisson, weibull)", s.Process)
+	// The numeric range checks are written in the affirmative so NaN
+	// (which fails every comparison) is rejected too.
+	case !(s.Rate > 0 && s.Rate <= 1e6):
+		return fmt.Errorf("workload: rate must be in (0, 1e6] requests/s, got %g", s.Rate)
+	case s.Process != "poisson" && !(s.Shape > 0 && s.Shape <= 1e3):
+		return fmt.Errorf("workload: shape must be in (0, 1e3], got %g", s.Shape)
+	case s.DurationMS <= 0:
+		return fmt.Errorf("workload: duration must be positive, got %dms", s.DurationMS)
+	case s.MaxRequests < 0:
+		return fmt.Errorf("workload: max-requests must be non-negative, got %d", s.MaxRequests)
+	case !(s.DiurnalAmp >= 0 && s.DiurnalAmp < 1):
+		return fmt.Errorf("workload: diurnal-amp must be in [0, 1), got %g", s.DiurnalAmp)
+	case s.DiurnalAmp > 0 && s.DiurnalPeriodMS <= 0:
+		return fmt.Errorf("workload: diurnal-period must be positive when diurnal-amp is set")
+	case len(s.Tenants) == 0:
+		return fmt.Errorf("workload: a scenario needs at least one tenant")
+	}
+	seen := make(map[string]bool, len(s.Tenants))
+	for _, t := range s.Tenants {
+		switch {
+		case t.Name == "":
+			return fmt.Errorf("workload: tenant name must not be empty")
+		case strings.ContainsAny(t.Name, ",;= \t\n"):
+			return fmt.Errorf("workload: tenant name %q contains spec delimiters", t.Name)
+		case seen[t.Name]:
+			return fmt.Errorf("workload: duplicate tenant %q", t.Name)
+		case !ValidClass(t.Class):
+			return fmt.Errorf("workload: tenant %q has unknown class %q (valid: %s)", t.Name, t.Class, strings.Join(Classes, ", "))
+		case !(t.Weight > 0 && t.Weight <= 1e6):
+			return fmt.Errorf("workload: tenant %q weight must be in (0, 1e6], got %g", t.Name, t.Weight)
+		case t.SLOMillis < 0:
+			return fmt.Errorf("workload: tenant %q slo must be non-negative", t.Name)
+		case t.Experiment == "":
+			return fmt.Errorf("workload: tenant %q needs an experiment", t.Name)
+		case t.Templates < 0 || t.Templates > 4096:
+			return fmt.Errorf("workload: tenant %q templates must be in [1, 4096], got %d", t.Name, t.Templates)
+		case t.MaxSimEdges < 0:
+			return fmt.Errorf("workload: tenant %q max-sim-edges must be non-negative", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	return nil
+}
+
+// ValidateExperiments additionally checks every tenant's experiment ID
+// against a served registry (engine start does this; Parse does not, so
+// specs for remote servers with injected registries still parse).
+func (s Scenario) ValidateExperiments(valid []string) error {
+	ok := make(map[string]bool, len(valid))
+	for _, id := range valid {
+		ok[id] = true
+	}
+	for _, t := range s.Tenants {
+		if !ok[t.Experiment] {
+			sorted := append([]string(nil), valid...)
+			sort.Strings(sorted)
+			return fmt.Errorf("workload: tenant %q: unknown experiment %q (valid: %s)", t.Name, t.Experiment, strings.Join(sorted, ", "))
+		}
+	}
+	return nil
+}
+
+// String renders the canonical key=value encoding: global keys in fixed
+// order, then one ";tenant=..." section per tenant, defaults omitted.
+// Parse(s.String()) reproduces s (normalized).
+func (s Scenario) String() string {
+	s = s.normalized()
+	var parts []string
+	add := func(key, val string) { parts = append(parts, key+"="+val) }
+	if s.Name != "" {
+		add("name", s.Name)
+	}
+	if s.Seed != 0 {
+		add("seed", strconv.FormatInt(s.Seed, 10))
+	}
+	add("rate", strconv.FormatFloat(s.Rate, 'g', -1, 64))
+	add("process", s.Process)
+	if s.Process != "poisson" {
+		add("shape", strconv.FormatFloat(s.Shape, 'g', -1, 64))
+	}
+	add("duration", s.Duration().String())
+	if s.MaxRequests != 0 {
+		add("max-requests", strconv.FormatInt(s.MaxRequests, 10))
+	}
+	if s.DiurnalAmp != 0 {
+		add("diurnal-amp", strconv.FormatFloat(s.DiurnalAmp, 'g', -1, 64))
+		add("diurnal-period", s.DiurnalPeriod().String())
+	}
+	sections := []string{strings.Join(parts, ",")}
+	for _, t := range s.Tenants {
+		tp := []string{"tenant=" + t.Name, "class=" + t.Class}
+		if t.Weight != 1 {
+			tp = append(tp, "weight="+strconv.FormatFloat(t.Weight, 'g', -1, 64))
+		}
+		if t.SLOMillis != 0 {
+			tp = append(tp, "slo="+(time.Duration(t.SLOMillis)*time.Millisecond).String())
+		}
+		tp = append(tp, "experiment="+t.Experiment)
+		if t.Templates != 1 {
+			tp = append(tp, "templates="+strconv.Itoa(t.Templates))
+		}
+		if t.MaxSimEdges != 0 {
+			tp = append(tp, "max-sim-edges="+strconv.FormatInt(t.MaxSimEdges, 10))
+		}
+		sections = append(sections, strings.Join(tp, ","))
+	}
+	return strings.Join(sections, ";")
+}
+
+// Parse decodes the key=value scenario format: comma-separated global
+// keys, then semicolon-separated tenant sections each starting with
+// tenant=<name>, e.g.
+//
+//	rate=40,process=gamma,shape=0.5,duration=10s;tenant=search,class=gold,weight=3,experiment=table1,templates=4;tenant=batch,class=batch,experiment=fig9
+//
+// The result is validated and normalized so Parse(s.String())
+// round-trips.
+func Parse(in string) (Scenario, error) {
+	var s Scenario
+	in = strings.TrimSpace(in)
+	if in == "" {
+		return Scenario{}, fmt.Errorf("workload: empty scenario spec")
+	}
+	sections := strings.Split(in, ";")
+	if err := parseGlobal(&s, sections[0]); err != nil {
+		return Scenario{}, err
+	}
+	for _, sec := range sections[1:] {
+		t, err := parseTenant(sec)
+		if err != nil {
+			return Scenario{}, err
+		}
+		s.Tenants = append(s.Tenants, t)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s.normalized(), nil
+}
+
+// globalKeys and tenantKeys are the canonical key orders, used in error
+// messages.
+var (
+	globalKeys = []string{"name", "seed", "rate", "process", "shape", "duration", "max-requests", "diurnal-amp", "diurnal-period"}
+	tenantKeys = []string{"tenant", "class", "weight", "slo", "experiment", "templates", "max-sim-edges"}
+)
+
+func parseGlobal(s *Scenario, sec string) error {
+	return parseKV(sec, func(key, val string) error {
+		var err error
+		switch key {
+		case "name":
+			s.Name = val
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "rate":
+			s.Rate, err = strconv.ParseFloat(val, 64)
+		case "process":
+			s.Process = val
+		case "shape":
+			s.Shape, err = strconv.ParseFloat(val, 64)
+		case "duration":
+			s.DurationMS, err = parseDurationMS(val)
+		case "max-requests":
+			s.MaxRequests, err = strconv.ParseInt(val, 10, 64)
+		case "diurnal-amp":
+			s.DiurnalAmp, err = strconv.ParseFloat(val, 64)
+		case "diurnal-period":
+			s.DiurnalPeriodMS, err = parseDurationMS(val)
+		default:
+			return fmt.Errorf("workload: unknown key %q (valid: %s)", key, strings.Join(globalKeys, ", "))
+		}
+		if err != nil {
+			return fmt.Errorf("workload: bad value for %s: %v", key, err)
+		}
+		return nil
+	})
+}
+
+func parseTenant(sec string) (Tenant, error) {
+	var t Tenant
+	first := true
+	err := parseKV(sec, func(key, val string) error {
+		if first && key != "tenant" {
+			return fmt.Errorf("workload: tenant section must start with tenant=<name>, got %q", key)
+		}
+		first = false
+		var err error
+		switch key {
+		case "tenant":
+			t.Name = val
+		case "class":
+			t.Class = val
+		case "weight":
+			t.Weight, err = strconv.ParseFloat(val, 64)
+		case "slo":
+			t.SLOMillis, err = parseDurationMS(val)
+		case "experiment":
+			t.Experiment = val
+		case "templates":
+			t.Templates, err = strconv.Atoi(val)
+		case "max-sim-edges":
+			t.MaxSimEdges, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return fmt.Errorf("workload: unknown tenant key %q (valid: %s)", key, strings.Join(tenantKeys, ", "))
+		}
+		if err != nil {
+			return fmt.Errorf("workload: bad value for %s: %v", key, err)
+		}
+		return nil
+	})
+	return t, err
+}
+
+func parseKV(sec string, apply func(key, val string) error) error {
+	for _, part := range strings.Split(sec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("workload: %q is not key=value", part)
+		}
+		if err := apply(strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseDurationMS parses a time.ParseDuration string into whole
+// milliseconds (the codec's duration unit).
+func parseDurationMS(val string) (int64, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %v", d)
+	}
+	if d%time.Millisecond != 0 {
+		return 0, fmt.Errorf("duration %v is finer than the 1ms spec resolution", d)
+	}
+	return int64(d / time.Millisecond), nil
+}
+
+// named is the registry of canonical scenarios. They double as the
+// fuzz seed corpus and the EXPERIMENTS.md artifacts.
+var named = map[string]string{
+	// smoke: a short, cheap three-class mix over the analytical Table I
+	// experiment — the CI load stage and the quickest way to see the
+	// engine work.
+	"smoke": "name=smoke,seed=7,rate=20,process=poisson,duration=2s;" +
+		"tenant=gold-interactive,class=gold,weight=3,experiment=table1,templates=2;" +
+		"tenant=silver-standard,class=silver,weight=2,experiment=table1,templates=2;" +
+		"tenant=bronze-scavenger,class=bronze,experiment=table1,templates=2",
+	// canonical: the documented multi-tenant reference scenario — three
+	// SLO classes, bursty Gamma arrivals (shape 0.5 ⇒ CV² = 2), mixed
+	// experiment pools.
+	"canonical": "name=canonical,seed=42,rate=40,process=gamma,shape=0.5,duration=10s;" +
+		"tenant=search,class=gold,weight=3,experiment=table1,templates=4;" +
+		"tenant=analytics,class=silver,weight=2,experiment=fig9,templates=2;" +
+		"tenant=archive,class=bronze,experiment=table1,templates=2",
+	// diurnal: Weibull arrivals under a compressed day/night rate curve
+	// (80% modulation over a 2s period).
+	"diurnal": "name=diurnal,seed=11,rate=60,process=weibull,shape=0.8,duration=8s," +
+		"diurnal-amp=0.8,diurnal-period=2s;" +
+		"tenant=day,class=gold,weight=2,experiment=table1,templates=3;" +
+		"tenant=night,class=batch,experiment=table1,templates=3",
+}
+
+// Named returns a canonical scenario by name.
+func Named(name string) (Scenario, error) {
+	spec, ok := named[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("workload: unknown scenario %q (valid: %s)", name, strings.Join(NamedScenarios(), ", "))
+	}
+	s, err := Parse(spec)
+	if err != nil {
+		panic("workload: invalid built-in scenario " + name + ": " + err.Error())
+	}
+	return s, nil
+}
+
+// NamedScenarios lists the canonical scenario names, sorted.
+func NamedScenarios() []string {
+	out := make([]string, 0, len(named))
+	for k := range named {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NamedSpecs returns the raw canonical spec strings (the fuzz seed
+// corpus), keyed by name in sorted order.
+func NamedSpecs() []string {
+	out := make([]string, 0, len(named))
+	for _, k := range NamedScenarios() {
+		out = append(out, named[k])
+	}
+	return out
+}

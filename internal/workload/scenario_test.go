@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseStringRoundTrip pins the codec: for every named scenario,
+// Parse → String → Parse reproduces the same normalized value, and
+// String is stable across the round trip.
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, spec := range NamedSpecs() {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		enc := s.String()
+		s2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("Parse(String()) of %q: %v", enc, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Errorf("round trip drifted:\n  first:  %#v\n  second: %#v", s, s2)
+		}
+		if enc2 := s2.String(); enc != enc2 {
+			t.Errorf("String not stable:\n  first:  %s\n  second: %s", enc, enc2)
+		}
+	}
+}
+
+// TestJSONRoundTrip checks the JSON mirror of the spec codec: a parsed
+// scenario survives marshal → unmarshal → String unchanged.
+func TestJSONRoundTrip(t *testing.T) {
+	s, err := Named("canonical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s2 Scenario
+	if err := json.Unmarshal(blob, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s2.String(), s.String(); got != want {
+		t.Errorf("JSON round trip drifted:\n  got:  %s\n  want: %s", got, want)
+	}
+}
+
+// TestParseDefaults checks normalization: omitted keys land on the
+// documented defaults.
+func TestParseDefaults(t *testing.T) {
+	s, err := Parse("rate=10,duration=1s;tenant=a,class=gold,experiment=table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Process != "poisson" {
+		t.Errorf("default process = %q, want poisson", s.Process)
+	}
+	tn := s.Tenants[0]
+	if tn.Weight != 1 || tn.Templates != 1 {
+		t.Errorf("tenant defaults = weight %g templates %d, want 1 and 1", tn.Weight, tn.Templates)
+	}
+	if got, want := tn.SLO(), classSLODefaults[ClassGold]; got != want {
+		t.Errorf("gold SLO default = %v, want %v", got, want)
+	}
+}
+
+// TestParseErrors walks the validation surface: each bad spec must
+// fail with a message naming the offending field.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantSub string
+	}{
+		{"", "empty scenario"},
+		{"rate=10,duration=1s", "at least one tenant"},
+		{"bogus-key=1,rate=10,duration=1s;tenant=a,class=gold,experiment=table1", "unknown key"},
+		{"rate=10,duration=1s;class=gold,tenant=a,experiment=table1", "must start with tenant="},
+		{"rate=10,duration=1s;tenant=a,class=platinum,experiment=table1", "unknown class"},
+		{"rate=10,duration=1s;tenant=a,class=gold", "needs an experiment"},
+		{"rate=0,duration=1s;tenant=a,class=gold,experiment=table1", "rate must be"},
+		{"rate=10,duration=0s;tenant=a,class=gold,experiment=table1", "duration must be positive"},
+		{"rate=10,duration=1s,process=zipf;tenant=a,class=gold,experiment=table1", "unknown process"},
+		{"rate=10,duration=1s,process=gamma,shape=-1;tenant=a,class=gold,experiment=table1", "shape must be"},
+		{"rate=10,duration=1s,diurnal-amp=1.5;tenant=a,class=gold,experiment=table1", "diurnal-amp"},
+		{"rate=10,duration=1s,diurnal-amp=0.5;tenant=a,class=gold,experiment=table1", "diurnal-period"},
+		{"rate=10,duration=1s;tenant=a,class=gold,experiment=table1;tenant=a,class=gold,experiment=table1", "duplicate tenant"},
+		{"rate=10,duration=1s;tenant=a,class=gold,experiment=table1,weight=-2", "weight must be"},
+		{"rate=10,duration=1s;tenant=a,class=gold,experiment=table1,templates=9999", "templates must be"},
+		{"rate=10,duration=1s1x;tenant=a,class=gold,experiment=table1", "bad value for duration"},
+		{"rate=10,duration=500us;tenant=a,class=gold,experiment=table1", "1ms spec resolution"},
+		{"rate=10,duration=1s,notakv;tenant=a,class=gold,experiment=table1", "not key=value"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tc.spec, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", tc.spec, err, tc.wantSub)
+		}
+	}
+}
+
+// TestValidateExperiments checks the registry cross-check used at
+// engine start.
+func TestValidateExperiments(t *testing.T) {
+	s, err := Named("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateExperiments([]string{"table1", "fig9"}); err != nil {
+		t.Fatalf("valid registry rejected: %v", err)
+	}
+	err = s.ValidateExperiments([]string{"fig9"})
+	if err == nil || !strings.Contains(err.Error(), `unknown experiment "table1"`) {
+		t.Fatalf("missing experiment not reported: %v", err)
+	}
+}
+
+// TestTemplateOptions checks templates are distinct content-addressed
+// requests and reproducible.
+func TestTemplateOptions(t *testing.T) {
+	s, err := Named("canonical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]string{}
+	for ti := range s.Tenants {
+		for i := 0; i < s.Tenants[ti].Templates; i++ {
+			o := s.TemplateOptions(ti, i)
+			if !o.Quick {
+				t.Fatalf("template (%d,%d) is not quick", ti, i)
+			}
+			if prev, dup := seen[o.Seed]; dup {
+				t.Fatalf("template (%d,%d) reuses seed %d of %s", ti, i, o.Seed, prev)
+			}
+			seen[o.Seed] = s.Tenants[ti].Name
+			if o2 := s.TemplateOptions(ti, i); !reflect.DeepEqual(o, o2) {
+				t.Fatalf("template (%d,%d) not reproducible", ti, i)
+			}
+		}
+	}
+}
+
+// TestNamed checks the registry surface.
+func TestNamed(t *testing.T) {
+	if _, err := Named("no-such-scenario"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	names := NamedScenarios()
+	if len(names) < 3 {
+		t.Fatalf("want ≥ 3 canonical scenarios, got %v", names)
+	}
+	for _, n := range names {
+		s, err := Named(n)
+		if err != nil {
+			t.Fatalf("Named(%q): %v", n, err)
+		}
+		if s.Name != n {
+			t.Errorf("scenario %q carries name %q", n, s.Name)
+		}
+	}
+}
+
+func BenchmarkParseScenario(b *testing.B) {
+	spec := NamedSpecs()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Load-generation smoke test: boot piumaserve, drive the ~2s "smoke"
+# scenario through piumaload recording a trace, require a clean report
+# (every request completed, zero errors, zero backpressure), then
+# replay the recorded trace against the same server and require the
+# replay to come back clean too.
+#
+# Usage: scripts/load_smoke.sh [addr]
+set -euo pipefail
+
+ADDR="${1:-127.0.0.1:8093}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+LOG="$TMP/serve.log"
+TRACE="$TMP/run.trace"
+REPORT="$TMP/report.json"
+PID=""
+
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+# json_int <field> extracts an integer field from the JSON on stdin
+# (top-level scalars only; nested objects repeat fields, so take the
+# first match, which is the report-level one).
+json_int() {
+    sed -n "s/.*\"$1\"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1/p" | head -n1
+}
+
+SERVE="$TMP/piumaserve"
+LOAD="$TMP/piumaload"
+go build -o "$SERVE" ./cmd/piumaserve
+go build -o "$LOAD" ./cmd/piumaload
+
+"$SERVE" -addr "$ADDR" -workers 2 >"$LOG" 2>&1 &
+PID=$!
+for _ in $(seq 1 100); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$PID" 2>/dev/null || fail "server exited during startup"
+    sleep 0.2
+done
+curl -sf "$BASE/healthz" >/dev/null || fail "server never became healthy on $ADDR"
+
+echo "== run the smoke scenario, recording a trace =="
+"$LOAD" -target "$BASE" -scenario smoke -record "$TRACE" -json \
+    -fail-on-backpressure >"$REPORT" || fail "piumaload run exited non-zero"
+
+REQUESTS=$(json_int requests <"$REPORT")
+COMPLETED=$(json_int completed <"$REPORT")
+ERRORS=$(json_int errors <"$REPORT")
+[ -n "$REQUESTS" ] && [ "$REQUESTS" -ge 1 ] || fail "report issued no requests: $(cat "$REPORT")"
+[ "$COMPLETED" = "$REQUESTS" ] || fail "only $COMPLETED of $REQUESTS requests completed: $(cat "$REPORT")"
+[ "${ERRORS:-1}" = 0 ] || fail "report shows $ERRORS error(s): $(cat "$REPORT")"
+echo "recorded run clean: $COMPLETED/$REQUESTS completed, 0 errors"
+
+echo "== replay the recorded trace =="
+"$LOAD" -target "$BASE" -replay "$TRACE" -json \
+    -fail-on-backpressure >"$REPORT" || fail "piumaload replay exited non-zero"
+RCOMPLETED=$(json_int completed <"$REPORT")
+RERRORS=$(json_int errors <"$REPORT")
+[ "$RCOMPLETED" = "$REQUESTS" ] || fail "replay completed $RCOMPLETED of $REQUESTS: $(cat "$REPORT")"
+[ "${RERRORS:-1}" = 0 ] || fail "replay shows $RERRORS error(s): $(cat "$REPORT")"
+grep -q '"replayed": true' "$REPORT" || fail "replay report not marked replayed"
+
+echo "PASS: smoke scenario ran and replayed clean ($REQUESTS requests)"
