@@ -1,17 +1,27 @@
-// Command piumaload is the open-loop load generator for piumaserve
-// (see internal/workload): it turns a seeded scenario spec — arrival
+// Command piumaload is the load generator for piumaserve (see
+// internal/workload): it turns a seeded scenario spec — arrival
 // process, multi-tenant client mix, SLO classes — into a deterministic
 // request schedule, drives it against a live server, and reduces the
 // outcomes to a per-SLO-class latency and fairness report.
+//
+// Scenarios are open-loop by default (requests fire at scheduled
+// offsets no matter how many are in flight). mode=closed instead runs
+// a fixed worker population with exponential think time, so throughput
+// couples to server latency — the interactive-user model.
 //
 // Usage:
 //
 //	piumaload -target http://localhost:8080 -scenario canonical
 //	piumaload -target http://localhost:8080 \
 //	    -scenario 'rate=40,process=gamma,shape=0.5,duration=10s;tenant=search,class=gold,weight=3,experiment=table1,templates=4;tenant=batch,class=batch,experiment=fig9'
+//	piumaload -target http://localhost:8080 \
+//	    -scenario 'mode=closed,concurrency=8,think=100ms,duration=10s;tenant=users,class=gold,experiment=table1,templates=4'
 //	piumaload -target ... -scenario smoke -record run.trace
 //	piumaload -target ... -replay run.trace
 //	piumaload -scenarios
+//
+// The target may be a single piumaserve or a piumagate front door —
+// the API is identical either way.
 //
 // -scenario accepts either a named scenario (see -scenarios) or a full
 // key=value spec. -record writes the run as a length-prefixed CRC32C

@@ -63,6 +63,7 @@ func main() {
 		grace      = flag.Duration("shutdown-grace", 30*time.Second, "drain deadline after SIGTERM")
 		dataDir    = flag.String("data-dir", "", "journal run state here and recover it on restart (empty = in-memory only)")
 		fsync      = flag.String("fsync", "always", "journal fsync policy: always, interval, or never")
+		replica    = flag.String("replica", "", "replica name stamped into the X-Piuma-Replica response header (for piumagate fan-out)")
 	)
 	flag.Parse()
 
@@ -89,6 +90,7 @@ func main() {
 		MaxRetries:   *maxRetries,
 		RetryBackoff: *retryWait,
 		Store:        st,
+		Replica:      *replica,
 	})
 	if rec := srv.Recovery(); rec.Enabled {
 		log.Printf("piumaserve: recovered %d run(s) from %s (%d requeued, %d cached reports, %d skipped; %d records, %d malformed, %d corrupt tail bytes quarantined)",

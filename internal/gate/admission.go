@@ -1,0 +1,144 @@
+package gate
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Normalized SLO class vocabulary for admission and metrics. The
+// header is free-form client input; normalizeClass folds it onto this
+// closed set so quota lookups and metric labels stay bounded.
+const (
+	classGold   = "gold"
+	classSilver = "silver"
+	classBronze = "bronze"
+	classBatch  = "batch"
+	classNone   = "none"
+	classOther  = "other"
+)
+
+// normalizeClass maps an X-SLO-Class header value onto the bounded
+// vocabulary.
+func normalizeClass(header string) string {
+	switch header {
+	case classGold:
+		return classGold
+	case classSilver:
+		return classSilver
+	case classBronze:
+		return classBronze
+	case classBatch:
+		return classBatch
+	case "":
+		return classNone
+	default:
+		return classOther
+	}
+}
+
+// validQuotaClass reports whether a ClassQuotas key is one of the real
+// SLO classes (quotas for "none"/"other" would be meaningless: clients
+// could dodge them by minting header values).
+func validQuotaClass(class string) bool {
+	switch class {
+	case classGold, classSilver, classBronze, classBatch:
+		return true
+	}
+	return false
+}
+
+// bucket is a token bucket under virtual time: tokens refill at `rate`
+// per second up to `burst`, and one token admits one request. All
+// arithmetic is driven by the caller-supplied now, so a fixed clock
+// yields fixed decisions.
+type bucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64) *bucket {
+	if burst <= 0 {
+		burst = max(1, rate)
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// take consumes one token if available. When empty it reports the
+// delay until a token will exist (the Retry-After hint).
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if !b.last.IsZero() {
+		dt := now.Sub(b.last).Seconds()
+		if dt > 0 {
+			b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		return false, time.Second
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(math.Ceil(need / b.rate * float64(time.Second)))
+}
+
+// admission applies the gate's two-level admission policy: a per-class
+// quota bucket (when configured) and then the global rate bucket. A
+// request rejected by either never reaches a backend.
+type admission struct {
+	mu       sync.Mutex
+	global   *bucket            // nil = no global limit
+	perClass map[string]*bucket // keyed by real class names only
+}
+
+func newAdmission(cfg Config) *admission {
+	a := &admission{perClass: make(map[string]*bucket, len(cfg.ClassQuotas))}
+	if cfg.Rate > 0 {
+		a.global = newBucket(cfg.Rate, cfg.Burst)
+	}
+	for class, rate := range cfg.ClassQuotas {
+		if rate > 0 {
+			a.perClass[class] = newBucket(rate, cfg.Burst)
+		}
+	}
+	return a
+}
+
+// admit decides one request. scope names what rejected it: the class
+// name for a quota rejection, "global" for the rate limiter, "" when
+// admitted. The class bucket is charged before the global one; a
+// request that passes its quota but loses at the global bucket does
+// not refund the class token (the request did consume class budget —
+// refunding would let a class exceed its quota exactly when the
+// cluster is saturated, the moment quotas exist for).
+func (a *admission) admit(class string, now time.Time) (ok bool, retryAfter time.Duration, scope string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if b := a.perClass[class]; b != nil {
+		if ok, wait := b.take(now); !ok {
+			return false, wait, class
+		}
+	}
+	if a.global != nil {
+		if ok, wait := a.global.take(now); !ok {
+			return false, wait, "global"
+		}
+	}
+	return true, 0, ""
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	s := int64(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
+}

@@ -1,0 +1,237 @@
+// Package gate is the cluster front door for multi-replica serving: a
+// sharded, policy-routed HTTP proxy that fans out to N piumaserve
+// replicas while exposing the exact same /v1/* API, so piumaload,
+// serve.Client and every existing tool work unchanged against a
+// cluster.
+//
+// The moving parts:
+//
+//	Registry  — the replica set: active health probing through
+//	            serve.Client.Healthz with jittered exponential backoff
+//	            on flapping backends, plus passive mark-down when a
+//	            forwarded request hits a transport failure.
+//	Router    — pluggable routing policies behind one interface:
+//	            round-robin (pure function of the request sequence),
+//	            least-loaded (fewest gate-tracked in-flight requests),
+//	            and cache-affinity (consistent hashing of the
+//	            content-addressed RunID, so repeat submissions of the
+//	            same options land on the replica that already holds
+//	            the cached result).
+//	Admission — token-bucket rate limiting plus per-SLO-class quotas
+//	            keyed on the X-SLO-Class header; over-quota requests
+//	            get 429 with Retry-After before any backend sees them.
+//	Failover  — a submission whose backend dies mid-flight is
+//	            resubmitted to the next healthy replica. This is safe
+//	            because run IDs are content addresses and runs are
+//	            checkpointed and journaled server-side: the worst case
+//	            is a dedup hit, never a duplicate simulation.
+//
+// Routing decisions are a pure function of (seed, request sequence)
+// under an injected Clock, so a simulated cluster routes byte-
+// identically across runs — the same determinism contract the rest of
+// the repo holds.
+package gate
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"piumagcn/internal/serve"
+)
+
+// Clock abstracts wall time so admission control, probe scheduling and
+// latency accounting are deterministic in tests. The default is the
+// wall clock.
+type Clock interface {
+	Now() time.Time
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Decision records one routing choice. The sequence of decisions is
+// the gate's determinism contract: under an injected clock and fixed
+// seed, identical request sequences produce identical decision
+// streams.
+type Decision struct {
+	// Seq is the gate-assigned submission sequence number.
+	Seq uint64 `json:"seq"`
+	// RunID is the content address the request routed on.
+	RunID string `json:"run_id"`
+	// Policy is the routing policy that made the pick.
+	Policy string `json:"policy"`
+	// Backend is the chosen replica's name.
+	Backend string `json:"backend"`
+	// Attempt is 0 for the first pick; >0 marks a failover re-pick
+	// after a backend died mid-request.
+	Attempt int `json:"attempt"`
+}
+
+// Config tunes the gate. Backends is required; everything else has a
+// sensible default.
+type Config struct {
+	// Backends is the replica base URL list, e.g.
+	// ["http://127.0.0.1:8081", "http://127.0.0.1:8082"]. Replica
+	// names are assigned by index ("b0", "b1", ...), which is what
+	// bounds the per-backend metric label vocabulary.
+	Backends []string
+	// Policy selects the router: PolicyRoundRobin (default),
+	// PolicyLeastLoaded or PolicyCacheAffinity.
+	Policy string
+	// Seed drives the probe-backoff jitter. Routing itself consumes no
+	// randomness; the seed exists so the full gate process — probing
+	// included — is reproducible.
+	Seed int64
+	// ProbeInterval is the health-probe period (default 1s; negative
+	// disables the background probe loop — health then changes only
+	// through passive mark-down and explicit ProbeAll calls, which is
+	// what deterministic tests use).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// ProbeBackoffMax caps the exponential backoff between probes of a
+	// flapping backend (default 30s).
+	ProbeBackoffMax time.Duration
+	// Rate is the global admission rate in requests/second (0 = no
+	// global limit). Burst is the token-bucket depth (default
+	// max(1, Rate)).
+	Rate  float64
+	Burst float64
+	// ClassQuotas are per-SLO-class admission rates in requests/second,
+	// keyed by workload class ("gold", "silver", "bronze", "batch");
+	// classes without an entry are bounded only by Rate. The quota
+	// buckets use the same Burst default.
+	ClassQuotas map[string]float64
+	// HTTPClient is the fan-out transport (nil = serve.DefaultHTTPClient,
+	// which bounds dial, TLS and response-header waits).
+	HTTPClient *http.Client
+	// Clock injects virtual time (nil = wall clock).
+	Clock Clock
+	// OnDecision, when non-nil, observes every routing decision
+	// synchronously in submission order. Tests use it to assert the
+	// determinism contract.
+	OnDecision func(Decision)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = PolicyRoundRobin
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.ProbeBackoffMax <= 0 {
+		c.ProbeBackoffMax = 30 * time.Second
+	}
+	if c.Burst <= 0 && c.Rate > 0 {
+		c.Burst = max(1, c.Rate)
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = serve.DefaultHTTPClient()
+	}
+	if c.Clock == nil {
+		c.Clock = wallClock{}
+	}
+	return c
+}
+
+// Gate owns the replica registry, the router, admission control and
+// the proxy handler.
+type Gate struct {
+	cfg     Config
+	reg     *Registry
+	router  Router
+	adm     *admission
+	metrics *metrics
+	clock   Clock
+	hc      *http.Client
+
+	seq atomic.Uint64
+
+	stop   context.CancelFunc
+	wg     sync.WaitGroup
+	probed atomic.Bool // whether the background probe loop runs
+}
+
+// New validates the configuration and builds the gate. The background
+// probe loop starts immediately unless ProbeInterval is negative.
+// Replicas start healthy: a backend that is actually down is demoted
+// by its first probe or the first forwarded request that fails.
+func New(cfg Config) (*Gate, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gate: at least one backend is required")
+	}
+	for class := range cfg.ClassQuotas {
+		if !validQuotaClass(class) {
+			return nil, fmt.Errorf("gate: unknown quota class %q (valid: gold, silver, bronze, batch)", class)
+		}
+	}
+	m := newMetrics()
+	reg, err := NewRegistry(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	router, err := NewRouter(cfg.Policy, reg.All())
+	if err != nil {
+		return nil, err
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	g := &Gate{
+		cfg:     cfg,
+		reg:     reg,
+		router:  router,
+		adm:     newAdmission(cfg),
+		metrics: m,
+		clock:   cfg.Clock,
+		hc:      cfg.HTTPClient,
+		stop:    stop,
+	}
+	if cfg.ProbeInterval > 0 {
+		g.probed.Store(true)
+		g.wg.Add(1)
+		go g.probeLoop(ctx)
+	}
+	return g, nil
+}
+
+// Registry exposes the replica set (health introspection, tests).
+func (g *Gate) Registry() *Registry { return g.reg }
+
+// Policy is the active routing policy name.
+func (g *Gate) Policy() string { return g.router.Policy() }
+
+// ProbeAll probes every replica that is due (synchronously, in index
+// order). The background loop calls this on its ticker; tests call it
+// directly for deterministic health transitions.
+func (g *Gate) ProbeAll(ctx context.Context) { g.reg.ProbeAll(ctx) }
+
+// probeLoop drives active health probing until Shutdown.
+func (g *Gate) probeLoop(ctx context.Context) {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			g.reg.ProbeAll(ctx)
+		}
+	}
+}
+
+// Shutdown stops the probe loop. In-flight proxied requests are not
+// interrupted — the HTTP server draining them is the caller's job.
+func (g *Gate) Shutdown() {
+	g.stop()
+	g.wg.Wait()
+}

@@ -1,0 +1,402 @@
+package gate
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"piumagcn/internal/bench"
+	"piumagcn/internal/serve"
+)
+
+// BackendHeader names the replica that ultimately served a proxied
+// request. The gate sets it on every relayed response (alongside the
+// backend's own serve.ReplicaHeader, which passes through untouched),
+// so clients and smoke tests can observe routing without scraping
+// metrics.
+const BackendHeader = "X-Piuma-Backend"
+
+// maxSubmitBytes mirrors the serving tier's POST body bound: the gate
+// rejects oversized submissions before any backend buffers them.
+const maxSubmitBytes = 1 << 20
+
+// Handler returns the gate's HTTP API — the same /v1/* surface as
+// piumaserve, plus the gate's own introspection:
+//
+//	GET    /v1/experiments     proxied to the first healthy replica
+//	POST   /v1/runs            admission → routing policy → forward
+//	                           (failover on backend death)
+//	GET    /v1/runs            fan-out merge of every replica's runs
+//	GET    /v1/runs/{id}       fan-out lookup (affinity-first ordering)
+//	GET    /v1/runs/{id}/profile  fan-out lookup
+//	DELETE /v1/runs/{id}       fan-out cancel
+//	GET    /v1/gate/backends   replica registry status
+//	GET    /healthz            200 while ≥1 replica is healthy
+//	GET    /metrics            gate families + scraped per-backend aggregates
+func (g *Gate) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/experiments", g.handleExperiments)
+	mux.HandleFunc("POST /v1/runs", g.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", g.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", g.handleRead)
+	mux.HandleFunc("GET /v1/runs/{id}/profile", g.handleRead)
+	mux.HandleFunc("DELETE /v1/runs/{id}", g.handleRead)
+	mux.HandleFunc("GET /v1/gate/backends", g.handleBackends)
+	mux.HandleFunc("GET /healthz", g.handleHealth)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return mux
+}
+
+// submitRequest mirrors the serving tier's POST /v1/runs body so the
+// gate derives the exact same content-addressed RunID a backend will
+// (omitted option fields take bench defaults on both sides).
+type submitRequest struct {
+	Experiment string         `json:"experiment"`
+	Options    *bench.Options `json:"options"`
+}
+
+func (g *Gate) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := g.clock.Now()
+	class := normalizeClass(r.Header.Get(serve.SLOClassHeader))
+	defer func() {
+		g.metrics.observeClass(class, g.clock.Now().Sub(start).Seconds())
+	}()
+
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return
+	}
+	defaults := bench.DefaultOptions()
+	req := submitRequest{Options: &defaults}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return
+	}
+	if req.Options == nil {
+		req.Options = &defaults
+	}
+	if req.Experiment == "" {
+		writeError(w, http.StatusBadRequest, `missing "experiment" field`)
+		return
+	}
+
+	// Admission: reject before any backend sees the request. The class
+	// quota is charged first, then the global rate bucket.
+	if ok, wait, scope := g.adm.admit(class, g.clock.Now()); !ok {
+		g.metrics.incRejected(scope)
+		w.Header().Set("Retry-After", retryAfterSeconds(wait))
+		if scope == "global" {
+			writeError(w, http.StatusTooManyRequests, "admission: cluster rate limit exceeded")
+		} else {
+			writeError(w, http.StatusTooManyRequests, "admission: quota for class "+scope+" exceeded")
+		}
+		return
+	}
+
+	runID := serve.RunID(req.Experiment, *req.Options)
+	rc := RouteContext{Seq: g.seq.Add(1) - 1, RunID: runID, Class: class}
+
+	candidates := g.reg.Healthy()
+	if len(candidates) == 0 {
+		g.metrics.incNoBackend()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no healthy backend")
+		return
+	}
+	for attempt := 0; len(candidates) > 0; attempt++ {
+		rep := g.router.Pick(rc, candidates)
+		if g.cfg.OnDecision != nil {
+			g.cfg.OnDecision(Decision{
+				Seq: rc.Seq, RunID: runID,
+				Policy: g.router.Policy(), Backend: rep.Name, Attempt: attempt,
+			})
+		}
+		g.metrics.incRouted(g.router.Policy(), rep.Name)
+		if attempt > 0 {
+			g.metrics.incFailover()
+		}
+
+		rep.addInFlight(1)
+		resp, err := g.forward(r, rep, http.MethodPost, "/v1/runs", body)
+		if err != nil {
+			rep.addInFlight(-1)
+			if r.Context().Err() != nil {
+				return // client gone; nothing useful to write
+			}
+			// Backend died mid-flight. Resubmitting elsewhere is safe:
+			// the RunID is a content address, so the worst case is a
+			// dedup/cache hit when the corpse comes back — never a
+			// duplicate simulation surfacing twice.
+			g.reg.MarkDown(rep)
+			candidates = without(candidates, rep)
+			continue
+		}
+		g.relay(w, resp, rep)
+		rep.addInFlight(-1)
+		return
+	}
+	g.metrics.incNoBackend()
+	writeError(w, http.StatusBadGateway, "every healthy backend died while forwarding the run")
+}
+
+// handleRead serves the per-run read/cancel endpoints by trying each
+// healthy replica in order until one knows the run. Under the
+// cache-affinity policy the run's home replica is tried first, so the
+// common case is a single upstream request.
+func (g *Gate) handleRead(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	path := "/v1/runs/" + id
+	if r.Method == http.MethodGet && len(r.URL.Path) > len(path) {
+		path += "/profile"
+	}
+	candidates := g.reg.Healthy()
+	if len(candidates) == 0 {
+		g.metrics.incNoBackend()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no healthy backend")
+		return
+	}
+	if a, ok := g.router.(*affinity); ok {
+		candidates = preferFirst(candidates, a.Pick(RouteContext{RunID: id}, candidates))
+	}
+	var last *http.Response
+	for _, rep := range candidates {
+		resp, err := g.forward(r, rep, r.Method, path, nil)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			g.reg.MarkDown(rep)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			// Another replica may own the run; keep looking, but
+			// remember one 404 to relay if nobody does.
+			if last != nil {
+				discard(last)
+			}
+			last = resp
+			continue
+		}
+		if last != nil {
+			discard(last)
+		}
+		g.relay(w, resp, rep)
+		return
+	}
+	if last != nil {
+		// Relay the backend's own 404 body (it names the unknown run).
+		g.relay(w, last, nil)
+		return
+	}
+	writeError(w, http.StatusBadGateway, "every healthy backend died while looking up run "+id)
+}
+
+// clusterRun is one run in the gate's merged listing: the backend name
+// is annotated so operators can see where each run lives.
+type clusterRun struct {
+	serve.RunResource
+	Backend string `json:"backend,omitempty"`
+}
+
+// handleList merges every healthy replica's run listing. A run that
+// failed over mid-flight may appear on two replicas (same ID,
+// different backends); the listing shows both, which is the honest
+// cluster view.
+func (g *Gate) handleList(w http.ResponseWriter, r *http.Request) {
+	runs := make([]clusterRun, 0, 64)
+	reached := false
+	for _, rep := range g.reg.Healthy() {
+		resp, err := g.forward(r, rep, http.MethodGet, "/v1/runs", nil)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			g.reg.MarkDown(rep)
+			continue
+		}
+		var out []serve.RunResource
+		derr := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&out)
+		resp.Body.Close()
+		if derr != nil {
+			continue
+		}
+		reached = true
+		for _, v := range out {
+			runs = append(runs, clusterRun{RunResource: v, Backend: rep.Name})
+		}
+	}
+	if !reached {
+		g.metrics.incNoBackend()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no healthy backend")
+		return
+	}
+	sort.Slice(runs, func(i, j int) bool {
+		ti, tj := runs[i].SubmittedAt, runs[j].SubmittedAt
+		switch {
+		case ti == nil && tj != nil:
+			return false
+		case ti != nil && tj == nil:
+			return true
+		case ti != nil && tj != nil && !ti.Equal(*tj):
+			return ti.After(*tj)
+		}
+		if runs[i].ID != runs[j].ID {
+			return runs[i].ID < runs[j].ID
+		}
+		return runs[i].Backend < runs[j].Backend
+	})
+	writeJSON(w, http.StatusOK, runs)
+}
+
+// handleExperiments proxies the registry listing from the first
+// healthy replica (every replica serves the same registry).
+func (g *Gate) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	for _, rep := range g.reg.Healthy() {
+		resp, err := g.forward(r, rep, http.MethodGet, "/v1/experiments", nil)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			g.reg.MarkDown(rep)
+			continue
+		}
+		g.relay(w, resp, rep)
+		return
+	}
+	g.metrics.incNoBackend()
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "no healthy backend")
+}
+
+func (g *Gate) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.reg.StatusAll())
+}
+
+func (g *Gate) handleHealth(w http.ResponseWriter, r *http.Request) {
+	statuses := g.reg.StatusAll()
+	healthy := 0
+	for _, s := range statuses {
+		if s.Healthy {
+			healthy++
+		}
+	}
+	body := map[string]any{
+		"status":   "ok",
+		"policy":   g.router.Policy(),
+		"healthy":  healthy,
+		"backends": statuses,
+	}
+	if healthy == 0 {
+		body["status"] = "unhealthy"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (g *Gate) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	g.scrapeBackends(r.Context())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.metrics.render(w, g.reg)
+}
+
+// forward issues one upstream request. body may be nil (reads); the
+// original query string and the SLO-class header ride along.
+func (g *Gate) forward(r *http.Request, rep *Replica, method, path string, body []byte) (*http.Response, error) {
+	u := rep.URL + path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if v := r.Header.Get(serve.SLOClassHeader); v != "" {
+		req.Header.Set(serve.SLOClassHeader, v)
+	}
+	return g.hc.Do(req)
+}
+
+// relay copies an upstream response to the client, stamping which
+// backend served it. rep may be nil when relaying a remembered
+// response whose replica no longer matters (the all-404 case).
+func (g *Gate) relay(w http.ResponseWriter, resp *http.Response, rep *Replica) {
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	if rep != nil {
+		h.Set(BackendHeader, rep.Name)
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// Headers are gone; failover is impossible. Count it.
+		g.metrics.incProxyError()
+	}
+}
+
+// discard drains and closes a response kept only provisionally.
+func discard(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+}
+
+// without returns candidates minus rep, preserving order.
+func without(candidates []*Replica, rep *Replica) []*Replica {
+	out := candidates[:0:0]
+	for _, r := range candidates {
+		if r != rep {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// preferFirst moves rep to the front of candidates, preserving the
+// relative order of the rest.
+func preferFirst(candidates []*Replica, rep *Replica) []*Replica {
+	out := make([]*Replica, 0, len(candidates))
+	out = append(out, rep)
+	for _, r := range candidates {
+		if r != rep {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,187 @@
+package gate
+
+import (
+	"io"
+
+	"piumagcn/internal/obs"
+)
+
+// latencyBounds matches the serving tier's histogram buckets so
+// gate-observed and backend-observed latencies compare directly.
+var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 25, 100, 500}
+
+// metrics is the gate's obs.Registry adapter. Every labeled family is
+// bounded: "class" by the normalized SLO vocabulary, "policy" by the
+// three routing policy constants, and "backend" by the replica
+// registry's fixed name set (gate.Replica.Name — sanctioned in the
+// metriclabels analyzer). All label values reach With through
+// unexported helpers whose call sites pass constants or Replica.Name,
+// which is how piumalint proves the bound.
+type metrics struct {
+	reg *obs.Registry
+
+	requests     *obs.CounterVec // by class
+	rejected     *obs.CounterVec // by admission scope
+	routed       *obs.CounterVec // by policy, backend
+	failovers    *obs.Counter
+	noBackend    *obs.Counter
+	proxyErrors  *obs.Counter
+	requestSecs  *obs.HistogramVec // by class
+	backendState *obs.GaugeVec     // healthy, by backend
+	backendBusy  *obs.GaugeVec     // in-flight, by backend
+	probeFails   *obs.CounterVec   // by backend
+	recoveries   *obs.CounterVec   // by backend
+
+	// Scraped per-backend aggregates (pull-through from each replica's
+	// /metrics at exposition time; see scrape.go).
+	backendUp        *obs.GaugeVec
+	backendQueue     *obs.GaugeVec
+	backendSubmitted *obs.GaugeVec
+	backendCompleted *obs.GaugeVec
+	backendCacheHits *obs.GaugeVec
+	backendDedupHits *obs.GaugeVec
+}
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg: reg,
+		requests: reg.CounterVec("piumagate_requests_total",
+			"Run submissions received, by SLO class (bounded vocabulary).", "class"),
+		rejected: reg.CounterVec("piumagate_admission_rejected_total",
+			"Submissions rejected by admission control, by scope (global rate or class quota).", "scope"),
+		routed: reg.CounterVec("piumagate_routed_total",
+			"Submissions forwarded to a backend, by routing policy and backend.", "policy", "backend"),
+		failovers: reg.Counter("piumagate_failovers_total",
+			"Submissions resubmitted to another replica after a backend died mid-flight."),
+		noBackend: reg.Counter("piumagate_no_backend_total",
+			"Requests refused because no healthy backend existed."),
+		proxyErrors: reg.Counter("piumagate_proxy_errors_total",
+			"Responses truncated after headers were already sent (failover impossible)."),
+		requestSecs: reg.HistogramVec("piumagate_request_seconds",
+			"Gate-observed submit service time, by SLO class.", latencyBounds, "class"),
+		backendState: reg.GaugeVec("piumagate_backend_healthy",
+			"Replica health as seen by the prober (1 healthy, 0 down).", "backend"),
+		backendBusy: reg.GaugeVec("piumagate_backend_in_flight",
+			"Gate requests currently forwarded to the backend.", "backend"),
+		probeFails: reg.CounterVec("piumagate_backend_probe_failures_total",
+			"Failed health probes plus passive mark-downs, by backend.", "backend"),
+		recoveries: reg.CounterVec("piumagate_backend_recoveries_total",
+			"Down-to-healthy probe transitions, by backend.", "backend"),
+
+		backendUp: reg.GaugeVec("piumagate_backend_up",
+			"Whether the last /metrics scrape of the backend succeeded.", "backend"),
+		backendQueue: reg.GaugeVec("piumagate_backend_queue_depth",
+			"Scraped piumaserve_queue_depth, by backend.", "backend"),
+		backendSubmitted: reg.GaugeVec("piumagate_backend_runs_submitted",
+			"Scraped piumaserve_runs_submitted_total, by backend.", "backend"),
+		backendCompleted: reg.GaugeVec("piumagate_backend_runs_completed",
+			"Scraped piumaserve_runs_completed_total, by backend.", "backend"),
+		backendCacheHits: reg.GaugeVec("piumagate_backend_cache_hits",
+			"Scraped piumaserve_cache_hits_total, by backend.", "backend"),
+		backendDedupHits: reg.GaugeVec("piumagate_backend_dedup_hits",
+			"Scraped piumaserve_dedup_hits_total, by backend.", "backend"),
+	}
+}
+
+// observeClass counts one submission and its service time under the
+// normalized class. The switch arms pass constants so the label is
+// provably bounded.
+func (m *metrics) observeClass(class string, seconds float64) {
+	switch class {
+	case classGold:
+		m.classObserve(classGold, seconds)
+	case classSilver:
+		m.classObserve(classSilver, seconds)
+	case classBronze:
+		m.classObserve(classBronze, seconds)
+	case classBatch:
+		m.classObserve(classBatch, seconds)
+	case classNone:
+		m.classObserve(classNone, seconds)
+	default:
+		m.classObserve(classOther, seconds)
+	}
+}
+
+func (m *metrics) classObserve(class string, seconds float64) {
+	m.requests.With(class).Inc()
+	m.requestSecs.With(class).Observe(seconds)
+}
+
+// incRejected counts an admission rejection by scope ("global" or the
+// rejecting class quota).
+func (m *metrics) incRejected(scope string) {
+	switch scope {
+	case "global":
+		m.rejectedInc("global")
+	case classGold:
+		m.rejectedInc(classGold)
+	case classSilver:
+		m.rejectedInc(classSilver)
+	case classBronze:
+		m.rejectedInc(classBronze)
+	case classBatch:
+		m.rejectedInc(classBatch)
+	default:
+		m.rejectedInc(classOther)
+	}
+}
+
+func (m *metrics) rejectedInc(scope string) { m.rejected.With(scope).Inc() }
+
+// incRouted counts one forward, by policy and backend. Policy values
+// are normalized onto the three constants; backend comes from the
+// registry's fixed name set.
+func (m *metrics) incRouted(policy, backend string) {
+	switch policy {
+	case PolicyRoundRobin:
+		m.routedInc(PolicyRoundRobin, backend)
+	case PolicyLeastLoaded:
+		m.routedInc(PolicyLeastLoaded, backend)
+	case PolicyCacheAffinity:
+		m.routedInc(PolicyCacheAffinity, backend)
+	}
+}
+
+func (m *metrics) routedInc(policy, backend string) { m.routed.With(policy, backend).Inc() }
+
+func (m *metrics) incFailover()   { m.failovers.Inc() }
+func (m *metrics) incNoBackend()  { m.noBackend.Inc() }
+func (m *metrics) incProxyError() { m.proxyErrors.Inc() }
+
+func (m *metrics) setBackendHealthy(backend string, v float64) { m.backendState.With(backend).Set(v) }
+func (m *metrics) setBackendInFlight(backend string, v float64) {
+	m.backendBusy.With(backend).Set(v)
+}
+func (m *metrics) incProbeFailure(backend string) { m.probeFails.With(backend).Inc() }
+func (m *metrics) incRecovered(backend string)    { m.recoveries.With(backend).Inc() }
+
+func (m *metrics) setBackendUp(backend string, v float64)    { m.backendUp.With(backend).Set(v) }
+func (m *metrics) setBackendQueue(backend string, v float64) { m.backendQueue.With(backend).Set(v) }
+func (m *metrics) setBackendSubmitted(backend string, v float64) {
+	m.backendSubmitted.With(backend).Set(v)
+}
+func (m *metrics) setBackendCompleted(backend string, v float64) {
+	m.backendCompleted.With(backend).Set(v)
+}
+func (m *metrics) setBackendCacheHits(backend string, v float64) {
+	m.backendCacheHits.With(backend).Set(v)
+}
+func (m *metrics) setBackendDedupHits(backend string, v float64) {
+	m.backendDedupHits.With(backend).Set(v)
+}
+
+// render refreshes the live per-replica gauges from the registry and
+// writes the Prometheus exposition.
+func (m *metrics) render(w io.Writer, reg *Registry) {
+	for _, r := range reg.All() {
+		if r.Healthy() {
+			m.setBackendHealthy(r.Name, 1)
+		} else {
+			m.setBackendHealthy(r.Name, 0)
+		}
+		m.setBackendInFlight(r.Name, float64(r.InFlight()))
+	}
+	m.reg.Render(w)
+}

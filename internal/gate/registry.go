@@ -1,0 +1,238 @@
+package gate
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"piumagcn/internal/serve"
+)
+
+// Replica is one registered backend. Names are assigned by index
+// ("b0", "b1", ...) at registry construction and never change: the
+// name set is therefore a closed vocabulary, which is what lets
+// Replica.Name serve as a metric label value (the metriclabels
+// analyzer sanctions gate.Replica.Name for exactly this reason).
+type Replica struct {
+	// Name is the registry-assigned replica name ("b0", "b1", ...).
+	Name string
+	// URL is the backend's base URL.
+	URL string
+
+	idx    int
+	client *serve.Client
+
+	mu           sync.Mutex
+	healthy      bool
+	inFlight     int
+	fails        int       // consecutive failed probes / passive mark-downs
+	backoffUntil time.Time // next probe not before this instant
+}
+
+// Healthy reports the replica's current health.
+func (r *Replica) Healthy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.healthy
+}
+
+// InFlight is the number of gate requests currently forwarded to this
+// replica (the least-loaded router's signal).
+func (r *Replica) InFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inFlight
+}
+
+// Fails is the consecutive-failure count (probe or passive).
+func (r *Replica) Fails() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fails
+}
+
+func (r *Replica) addInFlight(d int) {
+	r.mu.Lock()
+	r.inFlight += d
+	r.mu.Unlock()
+}
+
+// Registry owns the replica set and its health state. Replica order is
+// fixed at construction (backend list order), and every traversal is
+// in that order, so registry behavior is deterministic.
+type Registry struct {
+	replicas []*Replica
+	clock    Clock
+	metrics  *metrics
+
+	probeTimeout time.Duration
+	interval     time.Duration
+	backoffMax   time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand // seeded backoff jitter
+}
+
+// NewRegistry builds the replica set from cfg.Backends. Every replica
+// starts healthy; probing and passive mark-down correct that.
+func NewRegistry(cfg Config, m *metrics) (*Registry, error) {
+	reg := &Registry{
+		clock:        cfg.Clock,
+		metrics:      m,
+		probeTimeout: cfg.ProbeTimeout,
+		interval:     cfg.ProbeInterval,
+		backoffMax:   cfg.ProbeBackoffMax,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if reg.interval <= 0 {
+		// Probing disabled: backoff arithmetic still needs a base.
+		reg.interval = time.Second
+	}
+	seen := make(map[string]bool, len(cfg.Backends))
+	for i, u := range cfg.Backends {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("gate: backend %d has an empty URL", i)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("gate: duplicate backend %s", u)
+		}
+		seen[u] = true
+		rep := &Replica{
+			Name:    "b" + strconv.Itoa(i),
+			URL:     u,
+			idx:     i,
+			client:  serve.NewClient(u, cfg.HTTPClient),
+			healthy: true,
+		}
+		reg.replicas = append(reg.replicas, rep)
+		m.setBackendHealthy(rep.Name, 1)
+	}
+	return reg, nil
+}
+
+// All returns every replica in registration order.
+func (reg *Registry) All() []*Replica { return reg.replicas }
+
+// Healthy returns the healthy replicas in registration order.
+func (reg *Registry) Healthy() []*Replica {
+	out := make([]*Replica, 0, len(reg.replicas))
+	for _, r := range reg.replicas {
+		if r.Healthy() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// HealthyCount is the number of currently healthy replicas.
+func (reg *Registry) HealthyCount() int { return len(reg.Healthy()) }
+
+// MarkDown demotes a replica after a passive transport failure and
+// schedules its next probe with the same jittered backoff a failed
+// probe earns. Forwarding calls this the moment a backend dies, so
+// routing stops considering the corpse before the next probe tick.
+func (reg *Registry) MarkDown(r *Replica) {
+	now := reg.clock.Now()
+	r.mu.Lock()
+	r.healthy = false
+	r.fails++
+	r.backoffUntil = now.Add(reg.backoff(r.fails))
+	r.mu.Unlock()
+	reg.metrics.setBackendHealthy(r.Name, 0)
+	reg.metrics.incProbeFailure(r.Name)
+}
+
+// ProbeAll probes every replica that is due (its backoff window has
+// passed), in registration order. A healthy response restores the
+// replica and resets its failure count; a failure extends the backoff
+// exponentially with seeded jitter, so a flapping backend is probed
+// ever more lazily instead of being hammered.
+func (reg *Registry) ProbeAll(ctx context.Context) {
+	now := reg.clock.Now()
+	for _, r := range reg.replicas {
+		r.mu.Lock()
+		due := !now.Before(r.backoffUntil)
+		r.mu.Unlock()
+		if !due {
+			continue
+		}
+		reg.probe(ctx, r)
+	}
+}
+
+// probe runs one health check against r and applies the outcome.
+func (reg *Registry) probe(ctx context.Context, r *Replica) {
+	pctx, cancel := context.WithTimeout(ctx, reg.probeTimeout)
+	err := r.client.Healthz(pctx)
+	cancel()
+	now := reg.clock.Now()
+	r.mu.Lock()
+	if err == nil {
+		wasDown := !r.healthy
+		r.healthy = true
+		r.fails = 0
+		r.backoffUntil = time.Time{}
+		r.mu.Unlock()
+		reg.metrics.setBackendHealthy(r.Name, 1)
+		if wasDown {
+			reg.metrics.incRecovered(r.Name)
+		}
+		return
+	}
+	r.healthy = false
+	r.fails++
+	r.backoffUntil = now.Add(reg.backoff(r.fails))
+	r.mu.Unlock()
+	reg.metrics.setBackendHealthy(r.Name, 0)
+	reg.metrics.incProbeFailure(r.Name)
+}
+
+// backoff is the delay before the next probe after `fails` consecutive
+// failures: exponential from the probe interval, capped, with seeded
+// full jitter on the upper half (mirroring serve's retry backoff) so
+// probes of many flapping backends never align.
+func (reg *Registry) backoff(fails int) time.Duration {
+	d := reg.interval
+	if fails > 1 {
+		shift := min(fails-1, 6)
+		d <<= shift
+	}
+	if d > reg.backoffMax {
+		d = reg.backoffMax
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return d/2 + time.Duration(reg.rng.Int63n(int64(d/2)+1))
+}
+
+// Status is one replica's introspection snapshot (the /v1/gate/backends
+// endpoint and the cluster smoke's assertions).
+type Status struct {
+	Name     string `json:"name"`
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	InFlight int    `json:"in_flight"`
+	Fails    int    `json:"fails,omitempty"`
+}
+
+// StatusAll snapshots every replica in registration order.
+func (reg *Registry) StatusAll() []Status {
+	out := make([]Status, 0, len(reg.replicas))
+	for _, r := range reg.replicas {
+		r.mu.Lock()
+		out = append(out, Status{
+			Name:     r.Name,
+			URL:      r.URL,
+			Healthy:  r.healthy,
+			InFlight: r.inFlight,
+			Fails:    r.fails,
+		})
+		r.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package gate
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// The gate aggregates each replica's /metrics into bounded per-backend
+// families at exposition time (pull-through, no background scraper):
+// a GET /metrics on the gate probes every replica's exposition with
+// the probe timeout, folds the families below into
+// piumagate_backend_* gauges, and renders one combined page. A
+// replica that fails to scrape reports piumagate_backend_up 0 and
+// keeps its last-seen values.
+
+// backendStats are the upstream scalar families the gate mirrors.
+type backendStats struct {
+	queueDepth float64
+	submitted  float64
+	completed  float64
+	cacheHits  float64
+	dedupHits  float64
+}
+
+// parseBackendStats extracts the mirrored families from a Prometheus
+// text exposition. Only unlabeled scalar samples are consulted, which
+// is exactly what the mirrored piumaserve families are.
+func parseBackendStats(r io.Reader) (backendStats, error) {
+	var st backendStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "piumaserve_queue_depth":
+			st.queueDepth = v
+		case "piumaserve_runs_submitted_total":
+			st.submitted = v
+		case "piumaserve_runs_completed_total":
+			st.completed = v
+		case "piumaserve_cache_hits_total":
+			st.cacheHits = v
+		case "piumaserve_dedup_hits_total":
+			st.dedupHits = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("gate: scanning backend exposition: %w", err)
+	}
+	return st, nil
+}
+
+// scrapeBackends refreshes the piumagate_backend_* gauges from every
+// healthy replica's /metrics. Unhealthy replicas are skipped (their
+// last-seen values stand) and report up=0.
+func (g *Gate) scrapeBackends(ctx context.Context) {
+	for _, r := range g.reg.All() {
+		if !r.Healthy() {
+			g.metrics.setBackendUp(r.Name, 0)
+			continue
+		}
+		st, err := g.scrapeOne(ctx, r)
+		if err != nil {
+			g.metrics.setBackendUp(r.Name, 0)
+			continue
+		}
+		g.metrics.setBackendUp(r.Name, 1)
+		g.metrics.setBackendQueue(r.Name, st.queueDepth)
+		g.metrics.setBackendSubmitted(r.Name, st.submitted)
+		g.metrics.setBackendCompleted(r.Name, st.completed)
+		g.metrics.setBackendCacheHits(r.Name, st.cacheHits)
+		g.metrics.setBackendDedupHits(r.Name, st.dedupHits)
+	}
+}
+
+func (g *Gate) scrapeOne(ctx context.Context, r *Replica) (backendStats, error) {
+	sctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, r.URL+"/metrics", nil)
+	if err != nil {
+		return backendStats{}, err
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return backendStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return backendStats{}, fmt.Errorf("gate: %s /metrics returned %d", r.Name, resp.StatusCode)
+	}
+	return parseBackendStats(io.LimitReader(resp.Body, 8<<20))
+}

@@ -14,8 +14,10 @@ import (
 //
 //   - a compile-time constant, or
 //   - a field from the bounded vocabulary this repo defines
-//     (bench.Experiment.ID — the fixed experiment registry — and
-//     obs.ClassStats.Class — the fixed component classes), or
+//     (bench.Experiment.ID — the fixed experiment registry,
+//     obs.ClassStats.Class — the fixed component classes, and
+//     gate.Replica.Name — the index-assigned replica names fixed at
+//     registry construction), or
 //   - a parameter of an unexported function whose package-local call
 //     sites all pass allowed values (the wrapper-method pattern of
 //     internal/serve's metrics type).
@@ -36,10 +38,13 @@ var MetricLabelsAnalyzer = &Analyzer{
 
 // boundedFields is the sanctioned non-constant label vocabulary:
 // struct fields whose value set is fixed at init time, qualified as
-// "pkgname.Type.Field".
+// "pkgname.Type.Field". gate.Replica.Name is bounded because replica
+// names are assigned by index at registry construction ("b0", "b1",
+// ...) and the replica set never grows after gate.New.
 var boundedFields = map[string]bool{
 	"bench.Experiment.ID":  true,
 	"obs.ClassStats.Class": true,
+	"gate.Replica.Name":    true,
 }
 
 // labelTraceDepth bounds the parameter-to-call-site recursion.

@@ -70,3 +70,25 @@ func Reject() { incReason("queue-full") }
 func TrackJob(j job) {
 	requests.With(j.id).Inc()
 }
+
+// Replica mimics gate.Replica, but here the field qualifies as
+// obs.Replica.Name — not the sanctioned gate.Replica.Name — so the
+// bound does not transfer across packages.
+type Replica struct{ Name string }
+
+// TrackReplica selects a look-alike of the sanctioned field from the
+// wrong package. want.
+func TrackReplica(r Replica) {
+	requests.With(r.Name).Inc()
+}
+
+// setBackend mirrors the gate's per-backend helper pattern: unexported,
+// with every package-local call site passing a bounded field. clean.
+func setBackend(name string) {
+	requests.With(name).Inc()
+}
+
+// Refresh bounds setBackend's parameter with the sanctioned field. clean.
+func Refresh(c ClassStats) {
+	setBackend(c.Class)
+}

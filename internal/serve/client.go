@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"time"
 
 	"piumagcn/internal/bench"
 )
@@ -17,6 +19,40 @@ import (
 // the fixed class vocabulary — see classRequest in metrics.go).
 const SLOClassHeader = "X-SLO-Class"
 
+// ReplicaHeader identifies which serving replica produced a response.
+// piumaserve sets it on every response when started with a replica
+// name; the gate (internal/gate) reads it to attribute fan-out
+// responses and forwards it to its own clients.
+const ReplicaHeader = "X-Piuma-Replica"
+
+// DefaultHTTPClient returns the hardened client NewClient installs
+// when the caller passes nil: every phase of a request that can stall
+// forever against a dead or wedged server is bounded (dial, TLS
+// handshake, response headers), and the connection pool is sized for
+// load-generation fan-out rather than net/http's two-idle-conns
+// default. There is deliberately no overall Client.Timeout: a
+// ?wait=true submission legitimately blocks until the run completes,
+// so end-to-end deadlines belong to the caller's context. Callers
+// whose runs exceed the response-header bound must pass their own
+// client.
+func DefaultHTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   10 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout: 10 * time.Second,
+			// A ?wait=true submit writes no headers until the run
+			// finishes, so this is the ceiling on one synchronous run.
+			ResponseHeaderTimeout: 10 * time.Minute,
+			MaxIdleConns:          512,
+			MaxIdleConnsPerHost:   256,
+			IdleConnTimeout:       90 * time.Second,
+		},
+	}
+}
+
 // Client is the typed HTTP client of the run API, shared by
 // cmd/piumaload and tests. The zero value is not usable: construct with
 // NewClient.
@@ -26,14 +62,22 @@ type Client struct {
 }
 
 // NewClient targets a piumaserve (or httptest) base URL like
-// "http://127.0.0.1:8080". With a nil httpClient the default client is
-// used; per-request deadlines come from the caller's context either
-// way.
+// "http://127.0.0.1:8080". With a nil httpClient the hardened
+// DefaultHTTPClient is installed — dial, TLS-handshake and
+// response-header timeouts, so a health probe or fan-out request
+// against a dead backend can never hang its caller's goroutine
+// forever. Per-request deadlines come from the caller's context
+// either way.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = DefaultHTTPClient()
 	}
 	return &Client{baseURL: baseURL, http: httpClient}
+}
+
+// Base returns the client's base URL.
+func (c *Client) Base() string {
+	return c.baseURL
 }
 
 // SubmitAndWait submits one run with ?wait=true and blocks until it

@@ -26,6 +26,10 @@ const maxSubmitBytes = 1 << 20
 //	DELETE /v1/runs/{id}     cancel a queued or running run
 //	GET    /healthz          liveness (503 while draining)
 //	GET    /metrics          Prometheus text exposition
+//
+// When Config.Replica is set, every response carries the replica's
+// name in the X-Piuma-Replica header, so clients behind a fan-out
+// front door (cmd/piumagate) can tell which backend answered.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
@@ -36,7 +40,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancelRun)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	if s.cfg.Replica == "" {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(ReplicaHeader, s.cfg.Replica)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {

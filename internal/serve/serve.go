@@ -88,6 +88,12 @@ type Config struct {
 	// disables size-triggered compaction — the startup compaction after
 	// replay always runs).
 	CompactBytes int64
+	// Replica, when non-empty, names this serving replica: the HTTP
+	// handler stamps it into the X-Piuma-Replica response header so a
+	// fan-out front door (internal/gate) can attribute responses to
+	// backends. Empty keeps responses byte-identical to a standalone
+	// server.
+	Replica string
 }
 
 func (c Config) withDefaults() Config {

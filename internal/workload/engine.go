@@ -154,11 +154,176 @@ func (e *Engine) schedule() ([]Request, error) {
 // context stops issuing new requests; already-dispatched requests run
 // to completion under their own context handling.
 func (e *Engine) Run(ctx context.Context) (*Report, error) {
+	sc := e.Scenario.normalized()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Mode == ModeClosed {
+		return e.runClosed(ctx, sc)
+	}
 	reqs, err := e.schedule()
 	if err != nil {
 		return nil, err
 	}
 	return e.run(ctx, reqs, nil, false)
+}
+
+// runClosed is the closed-loop driver: Concurrency workers each issue a
+// request, wait for its response, think (exponential with mean Think),
+// and repeat until the duration horizon or MaxRequests. Unlike the
+// open-loop core there is no pre-derived schedule — issue times depend
+// on server latency, which is the point of a closed loop — but every
+// random choice (tenant, template, think draw) still comes from
+// per-worker seeded generators, and the trace records actual issue
+// offsets so a closed trace replays as an open-loop schedule.
+func (e *Engine) runClosed(ctx context.Context, sc Scenario) (*Report, error) {
+	if e.Client == nil {
+		return nil, fmt.Errorf("workload: engine needs a client")
+	}
+	clock := e.Clock
+	if clock == nil {
+		clock = &wallClock{}
+	}
+
+	var cumWeight []float64
+	total := 0.0
+	for _, t := range sc.Tenants {
+		total += t.Weight
+		cumWeight = append(cumWeight, total)
+	}
+
+	var (
+		mu        sync.Mutex
+		traceReqs []TraceRequest
+		responses []TraceResponse
+		settled   []bool
+		firstErr  error
+	)
+	// issue assigns the next sequence number, stamps the actual issue
+	// offset and writes the request frame — all under one lock, so seq
+	// order and trace frame order agree exactly as in the open loop.
+	issue := func(ti, tmpl int) (Request, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil {
+			return Request{}, false
+		}
+		seq := int64(len(traceReqs))
+		if sc.MaxRequests > 0 && seq >= sc.MaxRequests {
+			return Request{}, false
+		}
+		t := sc.Tenants[ti]
+		req := Request{
+			Seq:        seq,
+			Offset:     clock.Since(),
+			Tenant:     t.Name,
+			Class:      t.Class,
+			Experiment: t.Experiment,
+			Options:    sc.TemplateOptions(ti, tmpl),
+			SLO:        t.SLO(),
+		}
+		tr := TraceRequest{
+			Kind:       "req",
+			Seq:        seq,
+			OffsetUS:   req.Offset.Microseconds(),
+			Tenant:     t.Name,
+			Class:      t.Class,
+			Experiment: t.Experiment,
+			Options:    req.Options,
+		}
+		if e.Trace != nil {
+			if _, err := e.Trace.WriteRequest(tr); err != nil {
+				firstErr = err
+				return Request{}, false
+			}
+		}
+		traceReqs = append(traceReqs, tr)
+		responses = append(responses, TraceResponse{})
+		settled = append(settled, false)
+		return req, true
+	}
+	record := func(seq int64, resp TraceResponse) {
+		mu.Lock()
+		responses[seq] = resp
+		settled[seq] = true
+		class := traceReqs[seq].Class
+		mu.Unlock()
+		if e.Metrics != nil {
+			e.Metrics.observe(class, classify(resp), resp.Latency())
+		}
+	}
+
+	clock.Start()
+	var wg sync.WaitGroup
+	for w := 0; w < sc.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Offset each worker's stream far from the open-loop arrival
+			// and pick streams so the draw sequences never overlap.
+			rng := rand.New(rand.NewSource(sc.Seed + int64(w+1)*1_000_003))
+			for {
+				if ctx.Err() != nil || clock.Since() >= sc.Duration() {
+					return
+				}
+				x := rng.Float64() * total
+				ti := sort.SearchFloat64s(cumWeight, x)
+				if ti >= len(sc.Tenants) {
+					ti = len(sc.Tenants) - 1
+				}
+				tmpl := rng.Intn(sc.Tenants[ti].Templates)
+				req, ok := issue(ti, tmpl)
+				if !ok {
+					return
+				}
+				if e.Metrics != nil {
+					e.Metrics.inFlight.Add(1)
+				}
+				start := clock.Since()
+				resp := e.Client.Do(ctx, req)
+				if resp.Latency == 0 {
+					resp.Latency = clock.Since() - start
+				}
+				if e.Metrics != nil {
+					e.Metrics.inFlight.Add(-1)
+				}
+				record(req.Seq, TraceResponse{
+					Seq:        req.Seq,
+					HTTPStatus: resp.HTTPStatus,
+					RunStatus:  resp.RunStatus,
+					RunID:      resp.RunID,
+					LatencyUS:  resp.Latency.Microseconds(),
+					Err:        resp.Err,
+				})
+				if sc.ThinkMS > 0 {
+					d := time.Duration(rng.ExpFloat64() * float64(sc.Think()))
+					if !clock.SleepUntil(ctx, clock.Since()+d) {
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := clock.Since()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var outResps []TraceResponse
+	for seq := range traceReqs {
+		if !settled[seq] {
+			continue
+		}
+		if e.Trace != nil {
+			if err := e.Trace.WriteResponse(responses[seq]); err != nil {
+				return nil, err
+			}
+		}
+		outResps = append(outResps, responses[seq])
+	}
+	rep := BuildReport(sc, traceReqs, outResps, elapsed)
+	return rep, nil
 }
 
 // Replay re-executes a recorded trace's request schedule against the

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -303,6 +304,108 @@ func (c blockingClient) Do(ctx context.Context, req Request) Response {
 		return Response{HTTPStatus: 200, RunStatus: "done", Latency: time.Millisecond}
 	case <-ctx.Done():
 		return Response{Err: ctx.Err().Error()}
+	}
+}
+
+// countingClient tracks the peak number of concurrent Do calls.
+type countingClient struct {
+	cur, peak atomic.Int64
+}
+
+func (c *countingClient) Do(ctx context.Context, req Request) Response {
+	n := c.cur.Add(1)
+	defer c.cur.Add(-1)
+	for {
+		p := c.peak.Load()
+		if n <= p || c.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	time.Sleep(2 * time.Millisecond)
+	return Response{HTTPStatus: 200, RunStatus: "done", Latency: time.Millisecond}
+}
+
+// TestClosedLoopConcurrencyBound checks the defining closed-loop
+// property: in-flight requests never exceed the worker population, and
+// MaxRequests caps the run.
+func TestClosedLoopConcurrencyBound(t *testing.T) {
+	sc, err := Parse("seed=3,mode=closed,concurrency=3,duration=30s,max-requests=9;" +
+		"tenant=a,class=gold,experiment=table1,templates=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &countingClient{}
+	e := &Engine{Scenario: sc, Client: client}
+	rep, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 9 || rep.Completed != 9 {
+		t.Fatalf("want 9 completed requests, got %+v", rep)
+	}
+	if peak := client.peak.Load(); peak > 3 {
+		t.Fatalf("closed loop exceeded its population: peak %d > concurrency 3", peak)
+	}
+}
+
+// TestClosedLoopDeterministic: with one worker, a deterministic client
+// and a virtual clock, a closed run is as reproducible as an open one —
+// byte-identical traces and reports.
+func TestClosedLoopDeterministic(t *testing.T) {
+	sc, err := Parse("seed=9,mode=closed,concurrency=1,think=10ms,duration=10s,max-requests=25;" +
+		"tenant=a,class=gold,weight=2,experiment=table1,templates=3;" +
+		"tenant=b,class=batch,experiment=table1,templates=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace1, rep1 := runDeterministic(t, sc)
+	trace2, rep2 := runDeterministic(t, sc)
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatalf("closed traces differ across identical runs (%d vs %d bytes)", len(trace1), len(trace2))
+	}
+	if got, want := reportJSON(t, rep1), reportJSON(t, rep2); !bytes.Equal(got, want) {
+		t.Fatalf("closed reports differ:\n%s\nvs\n%s", got, want)
+	}
+	if rep1.Requests != 25 || rep1.Completed != 25 {
+		t.Fatalf("want 25 completed requests, got %+v", rep1)
+	}
+}
+
+// TestClosedTraceReplaysOpenLoop: a recorded closed-loop trace replays
+// through the open-loop core (actual issue offsets become the
+// schedule), reproducing the request stream byte for byte.
+func TestClosedTraceReplaysOpenLoop(t *testing.T) {
+	sc, err := Parse("seed=9,mode=closed,concurrency=1,think=10ms,duration=10s,max-requests=10;" +
+		"tenant=a,class=gold,experiment=table1,templates=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	original, _ := runDeterministic(t, sc)
+	tr, err := ReadTrace(bytes.NewReader(original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, tr.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Client: fakeClient{}, Clock: &virtualClock{}, Trace: tw, MaxInFlight: -1}
+	rep, err := e.Replay(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Replayed || rep.Requests != 10 {
+		t.Fatalf("replay: %+v", rep)
+	}
+	tr2, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.RawRequests {
+		if !bytes.Equal(tr.RawRequests[i], tr2.RawRequests[i]) {
+			t.Fatalf("request frame %d differs:\n%s\nvs\n%s", i, tr.RawRequests[i], tr2.RawRequests[i])
+		}
 	}
 }
 

@@ -52,6 +52,16 @@ func (t Tenant) SLO() time.Duration {
 	return classSLODefaults[t.Class]
 }
 
+// Generator modes. Open-loop issues requests at pre-scheduled offsets
+// regardless of in-flight count (a slow server piles requests up);
+// closed-loop runs a fixed population of workers that each wait for
+// their response and think before the next request (a slow server slows
+// the workload down — the classic interactive-user model).
+const (
+	ModeOpen   = "open"
+	ModeClosed = "closed"
+)
+
 // Scenario is one reproducible load experiment: every request the
 // engine will issue is a pure function of this value. Durations are
 // millisecond integers in JSON so the encoding is canonical.
@@ -60,8 +70,19 @@ type Scenario struct {
 	// Seed drives every random choice: arrival draws, tenant selection,
 	// template selection.
 	Seed int64 `json:"seed"`
-	// Rate is the mean offered load in requests per second.
-	Rate float64 `json:"rate"`
+	// Mode selects the generator: ModeOpen (default) schedules arrivals
+	// from the renewal process; ModeClosed runs Concurrency workers with
+	// exponential think time (Rate/Process/Shape/Diurnal* must be unset).
+	Mode string `json:"mode,omitempty"`
+	// Concurrency is the closed-loop worker population (closed mode
+	// only; default 1).
+	Concurrency int `json:"concurrency,omitempty"`
+	// ThinkMS is the closed-loop mean think time between a worker's
+	// response and its next request, drawn exponentially (closed mode
+	// only; 0 = no think time).
+	ThinkMS int64 `json:"think_ms,omitempty"`
+	// Rate is the mean offered load in requests per second (open mode).
+	Rate float64 `json:"rate,omitempty"`
 	// Process selects the inter-arrival distribution: "poisson",
 	// "gamma" or "weibull" (empty normalizes to "poisson").
 	Process string `json:"process"`
@@ -85,6 +106,11 @@ type Scenario struct {
 // Duration is the schedule horizon.
 func (s Scenario) Duration() time.Duration {
 	return time.Duration(s.DurationMS) * time.Millisecond
+}
+
+// Think is the closed-loop mean think time.
+func (s Scenario) Think() time.Duration {
+	return time.Duration(s.ThinkMS) * time.Millisecond
 }
 
 // DiurnalPeriod is the rate-modulation period.
@@ -119,13 +145,22 @@ var processes = map[string]bool{"poisson": true, "gamma": true, "weibull": true}
 // normalized folds equivalent encodings onto one canonical form, so
 // Parse(s.String()) round-trips and JSON artifacts diff cleanly.
 func (s Scenario) normalized() Scenario {
-	if s.Process == "" {
-		s.Process = "poisson"
+	if s.Mode == "" {
+		s.Mode = ModeOpen
 	}
-	if s.Process == "poisson" {
-		s.Shape = 0
-	} else if s.Shape == 0 {
-		s.Shape = 1
+	if s.Mode == ModeClosed {
+		if s.Concurrency == 0 {
+			s.Concurrency = 1
+		}
+	} else {
+		if s.Process == "" {
+			s.Process = "poisson"
+		}
+		if s.Process == "poisson" {
+			s.Shape = 0
+		} else if s.Shape == 0 {
+			s.Shape = 1
+		}
 	}
 	if s.DiurnalAmp == 0 {
 		s.DiurnalPeriodMS = 0
@@ -146,23 +181,41 @@ func (s Scenario) normalized() Scenario {
 // Validate rejects scenarios the engine cannot run deterministically.
 func (s Scenario) Validate() error {
 	s = s.normalized()
+	switch s.Mode {
+	case ModeOpen:
+		switch {
+		case s.Concurrency != 0 || s.ThinkMS != 0:
+			return fmt.Errorf("workload: concurrency/think only apply to closed mode (set mode=closed)")
+		case !processes[s.Process]:
+			return fmt.Errorf("workload: unknown process %q (valid: gamma, poisson, weibull)", s.Process)
+		// The numeric range checks are written in the affirmative so NaN
+		// (which fails every comparison) is rejected too.
+		case !(s.Rate > 0 && s.Rate <= 1e6):
+			return fmt.Errorf("workload: rate must be in (0, 1e6] requests/s, got %g", s.Rate)
+		case s.Process != "poisson" && !(s.Shape > 0 && s.Shape <= 1e3):
+			return fmt.Errorf("workload: shape must be in (0, 1e3], got %g", s.Shape)
+		case !(s.DiurnalAmp >= 0 && s.DiurnalAmp < 1):
+			return fmt.Errorf("workload: diurnal-amp must be in [0, 1), got %g", s.DiurnalAmp)
+		case s.DiurnalAmp > 0 && s.DiurnalPeriodMS <= 0:
+			return fmt.Errorf("workload: diurnal-period must be positive when diurnal-amp is set")
+		}
+	case ModeClosed:
+		switch {
+		case s.Rate != 0 || s.Process != "" || s.Shape != 0 || s.DiurnalAmp != 0:
+			return fmt.Errorf("workload: closed mode drives load with concurrency+think; rate/process/shape/diurnal must be unset")
+		case s.Concurrency < 1 || s.Concurrency > 4096:
+			return fmt.Errorf("workload: concurrency must be in [1, 4096], got %d", s.Concurrency)
+		case s.ThinkMS < 0:
+			return fmt.Errorf("workload: think must be non-negative, got %dms", s.ThinkMS)
+		}
+	default:
+		return fmt.Errorf("workload: unknown mode %q (valid: %s, %s)", s.Mode, ModeOpen, ModeClosed)
+	}
 	switch {
-	case !processes[s.Process]:
-		return fmt.Errorf("workload: unknown process %q (valid: gamma, poisson, weibull)", s.Process)
-	// The numeric range checks are written in the affirmative so NaN
-	// (which fails every comparison) is rejected too.
-	case !(s.Rate > 0 && s.Rate <= 1e6):
-		return fmt.Errorf("workload: rate must be in (0, 1e6] requests/s, got %g", s.Rate)
-	case s.Process != "poisson" && !(s.Shape > 0 && s.Shape <= 1e3):
-		return fmt.Errorf("workload: shape must be in (0, 1e3], got %g", s.Shape)
 	case s.DurationMS <= 0:
 		return fmt.Errorf("workload: duration must be positive, got %dms", s.DurationMS)
 	case s.MaxRequests < 0:
 		return fmt.Errorf("workload: max-requests must be non-negative, got %d", s.MaxRequests)
-	case !(s.DiurnalAmp >= 0 && s.DiurnalAmp < 1):
-		return fmt.Errorf("workload: diurnal-amp must be in [0, 1), got %g", s.DiurnalAmp)
-	case s.DiurnalAmp > 0 && s.DiurnalPeriodMS <= 0:
-		return fmt.Errorf("workload: diurnal-period must be positive when diurnal-amp is set")
 	case len(s.Tenants) == 0:
 		return fmt.Errorf("workload: a scenario needs at least one tenant")
 	}
@@ -224,10 +277,18 @@ func (s Scenario) String() string {
 	if s.Seed != 0 {
 		add("seed", strconv.FormatInt(s.Seed, 10))
 	}
-	add("rate", strconv.FormatFloat(s.Rate, 'g', -1, 64))
-	add("process", s.Process)
-	if s.Process != "poisson" {
-		add("shape", strconv.FormatFloat(s.Shape, 'g', -1, 64))
+	if s.Mode == ModeClosed {
+		add("mode", ModeClosed)
+		add("concurrency", strconv.Itoa(s.Concurrency))
+		if s.ThinkMS != 0 {
+			add("think", s.Think().String())
+		}
+	} else {
+		add("rate", strconv.FormatFloat(s.Rate, 'g', -1, 64))
+		add("process", s.Process)
+		if s.Process != "poisson" {
+			add("shape", strconv.FormatFloat(s.Shape, 'g', -1, 64))
+		}
 	}
 	add("duration", s.Duration().String())
 	if s.MaxRequests != 0 {
@@ -292,7 +353,7 @@ func Parse(in string) (Scenario, error) {
 // globalKeys and tenantKeys are the canonical key orders, used in error
 // messages.
 var (
-	globalKeys = []string{"name", "seed", "rate", "process", "shape", "duration", "max-requests", "diurnal-amp", "diurnal-period"}
+	globalKeys = []string{"name", "seed", "mode", "concurrency", "think", "rate", "process", "shape", "duration", "max-requests", "diurnal-amp", "diurnal-period"}
 	tenantKeys = []string{"tenant", "class", "weight", "slo", "experiment", "templates", "max-sim-edges"}
 )
 
@@ -304,6 +365,12 @@ func parseGlobal(s *Scenario, sec string) error {
 			s.Name = val
 		case "seed":
 			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "mode":
+			s.Mode = val
+		case "concurrency":
+			s.Concurrency, err = strconv.Atoi(val)
+		case "think":
+			s.ThinkMS, err = parseDurationMS(val)
 		case "rate":
 			s.Rate, err = strconv.ParseFloat(val, 64)
 		case "process":
@@ -413,6 +480,12 @@ var named = map[string]string{
 		"tenant=search,class=gold,weight=3,experiment=table1,templates=4;" +
 		"tenant=analytics,class=silver,weight=2,experiment=fig9,templates=2;" +
 		"tenant=archive,class=bronze,experiment=table1,templates=2",
+	// closed: the closed-loop reference — a fixed population of four
+	// workers, exponential 50ms think time, two-class mix. Throughput is
+	// set by worker count and server latency, not a target rate.
+	"closed": "name=closed,seed=5,mode=closed,concurrency=4,think=50ms,duration=2s;" +
+		"tenant=interactive,class=gold,weight=2,experiment=table1,templates=2;" +
+		"tenant=background,class=batch,experiment=table1,templates=2",
 	// diurnal: Weibull arrivals under a compressed day/night rate curve
 	// (80% modulation over a 2s period).
 	"diurnal": "name=diurnal,seed=11,rate=60,process=weibull,shape=0.8,duration=8s," +
