@@ -45,7 +45,9 @@ import (
 	"syscall"
 	"time"
 
+	"piumagcn/internal/chaos"
 	"piumagcn/internal/gate"
+	"piumagcn/internal/serve"
 )
 
 // quotaFlag accumulates repeated -quota class=rate flags.
@@ -84,6 +86,11 @@ func main() {
 		probeTimeout  = flag.Duration("probe-timeout", 2*time.Second, "per-probe deadline")
 		seed          = flag.Int64("seed", 1, "seed for probe-backoff jitter (reproducibility)")
 		grace         = flag.Duration("shutdown-grace", 30*time.Second, "drain deadline after SIGTERM")
+		markDown      = flag.Int("markdown-after", 2, "consecutive probe failures before a replica is marked unhealthy")
+		brkThreshold  = flag.Int("breaker-threshold", 3, "consecutive submit failures that open a backend's circuit (negative disables)")
+		brkCooldown   = flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before the half-open probe")
+		hedgeDelay    = flag.Duration("hedge-delay", 0, "hedge idempotent run-status GETs to a second replica after this delay (0 disables)")
+		chaosSpec     = flag.String("chaos", "", "client-side chaos schedule applied to the fan-out transport (chaos.Spec, e.g. 'seed=7;fault=reset,target=b1,at=2s,for=3s')")
 	)
 	flag.Var(quotas, "quota", "per-class admission quota as class=rate (repeatable; classes: gold, silver, bronze, batch)")
 	flag.Parse()
@@ -93,15 +100,35 @@ func main() {
 	}
 	urls := strings.Split(*backends, ",")
 
+	// -chaos wraps the gate's fan-out transport in the deterministic
+	// fault injector, so the whole resilience stack (mark-down,
+	// breakers, hedging, failover) can be exercised against a scheduled
+	// outage without touching the replicas.
+	var hc *http.Client
+	if *chaosSpec != "" {
+		spec, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			log.Fatalf("piumagate: -chaos: %v", err)
+		}
+		inj := chaos.New(spec, nil)
+		hc = chaos.WrapClient(serve.DefaultHTTPClient(), inj, chaos.Targets(urls))
+		log.Printf("piumagate: chaos schedule active: %s", spec.String())
+	}
+
 	g, err := gate.New(gate.Config{
-		Backends:      urls,
-		Policy:        *policy,
-		Seed:          *seed,
-		ProbeInterval: *probeInterval,
-		ProbeTimeout:  *probeTimeout,
-		Rate:          *rate,
-		Burst:         *burst,
-		ClassQuotas:   quotas,
+		Backends:         urls,
+		Policy:           *policy,
+		Seed:             *seed,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		MarkDownAfter:    *markDown,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		HedgeDelay:       *hedgeDelay,
+		Rate:             *rate,
+		Burst:            *burst,
+		ClassQuotas:      quotas,
+		HTTPClient:       hc,
 	})
 	if err != nil {
 		log.Fatalf("piumagate: %v", err)

@@ -64,6 +64,7 @@ func run() int {
 		inFlight  = flag.Int("max-in-flight", 512, "open-loop concurrency cap; requests over it shed as backpressure (negative = unbounded)")
 		skipCheck = flag.Bool("skip-health-check", false, "skip the target /healthz probe before the run")
 		failBP    = flag.Bool("fail-on-backpressure", false, "exit 2 on backpressure (429/503/shed), not just errors")
+		retry429  = flag.Int("retry-429", 0, "retries after a 429, honoring Retry-After (0 = default 2, negative disables)")
 	)
 	flag.Parse()
 
@@ -89,7 +90,7 @@ func run() int {
 
 	client := serve.NewClient(*target, nil)
 	engine := &workload.Engine{
-		Client:      &workload.HTTPClient{C: client, Timeout: *timeout},
+		Client:      &workload.HTTPClient{C: client, Timeout: *timeout, Retry429: *retry429},
 		MaxInFlight: *inFlight,
 		Metrics:     workload.NewMetrics(),
 	}

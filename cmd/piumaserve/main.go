@@ -47,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"piumagcn/internal/chaos"
 	"piumagcn/internal/serve"
 	"piumagcn/internal/store"
 )
@@ -64,6 +65,7 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "journal run state here and recover it on restart (empty = in-memory only)")
 		fsync      = flag.String("fsync", "always", "journal fsync policy: always, interval, or never")
 		replica    = flag.String("replica", "", "replica name stamped into the X-Piuma-Replica response header (for piumagate fan-out)")
+		chaosSpec  = flag.String("chaos", "", "server-side chaos schedule imposed on this replica's responses (chaos.Spec; windows match -replica or target=*)")
 	)
 	flag.Parse()
 
@@ -101,9 +103,24 @@ func main() {
 		}
 	}
 
+	handler := srv.Handler()
+	if *chaosSpec != "" {
+		spec, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			log.Fatalf("piumaserve: -chaos: %v", err)
+		}
+		target := *replica
+		if target == "" {
+			target = chaos.TargetAll
+		}
+		inj := chaos.New(spec, nil)
+		handler = inj.Middleware(target, handler)
+		log.Printf("piumaserve: chaos schedule active (target %s): %s", target, spec.String())
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

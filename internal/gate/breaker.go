@@ -1,0 +1,178 @@
+package gate
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Breaker states. A replica's circuit is independent of its registry
+// health: the registry tracks "is the process reachable" (healthz
+// probes, transport death), the breaker tracks "is it serving"
+// — a replica can answer probes perfectly while burning every
+// submission with 5xx, and the breaker is what routes around that.
+const (
+	// BreakerClosed admits traffic normally.
+	BreakerClosed = "closed"
+	// BreakerOpen refuses the backend outright until the cooldown
+	// elapses.
+	BreakerOpen = "open"
+	// BreakerHalfOpen admits exactly one probe submission; its outcome
+	// closes or re-opens the circuit.
+	BreakerHalfOpen = "half-open"
+)
+
+// BreakerTransition records one circuit state change. The transition
+// sequence is part of the gate's determinism contract: under an
+// injected clock and a sequential request stream, identical runs
+// produce identical transition logs. Backend and To are closed
+// vocabularies (replica names and the three state constants), which is
+// why the metriclabels analyzer sanctions both as metric label values.
+type BreakerTransition struct {
+	// Seq numbers transitions in occurrence order (gate-wide).
+	Seq uint64 `json:"seq"`
+	// Backend is the replica whose circuit moved.
+	Backend string `json:"backend"`
+	// From and To are the breaker states on either side of the move.
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// breaker is one replica's circuit. Open after threshold consecutive
+// submit failures; after a seeded-jitter cooldown the next submission
+// runs as the half-open probe, whose outcome closes or re-opens the
+// circuit.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	rng       *rand.Rand // seeded cooldown jitter
+	state     string
+	fails     int       // consecutive failures while closed
+	openUntil time.Time // open → half-open not before this instant
+	probing   bool      // the half-open probe slot is taken
+}
+
+// newBreaker builds a closed circuit. threshold < 0 disables the
+// breaker entirely (it never leaves closed).
+func newBreaker(threshold int, cooldown time.Duration, seed int64) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		rng:       rand.New(rand.NewSource(seed)),
+		state:     BreakerClosed,
+	}
+}
+
+func (b *breaker) disabled() bool { return b.threshold < 0 }
+
+// State is the current circuit state.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// available reports whether a submission may route to this backend
+// right now, without mutating state: closed always, open only once the
+// cooldown has elapsed (the would-be probe), half-open only while the
+// probe slot is free.
+func (b *breaker) available(now time.Time) bool {
+	if b.disabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		return !now.Before(b.openUntil)
+	case BreakerHalfOpen:
+		return !b.probing
+	default:
+		return true
+	}
+}
+
+// acquire claims the right to send one submission. In open state past
+// the cooldown it performs the open→half-open transition and takes the
+// probe slot; in half-open it takes the slot if free. The returned
+// transition (if any) must be observed by the caller; ok=false means
+// the circuit refused (pick another backend).
+func (b *breaker) acquire(now time.Time) (ok bool, from, to string) {
+	if b.disabled() {
+		return true, "", ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, "", ""
+	case BreakerOpen:
+		if now.Before(b.openUntil) {
+			return false, "", ""
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, BreakerOpen, BreakerHalfOpen
+	default: // half-open
+		if b.probing {
+			return false, "", ""
+		}
+		b.probing = true
+		return true, "", ""
+	}
+}
+
+// release frees an acquired probe slot without judging the backend —
+// the request died for reasons that say nothing about the replica
+// (client hung up, deadline budget spent at the gate).
+func (b *breaker) release() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// success settles one acquired submission favorably: the circuit
+// closes (from whatever state) and the failure streak resets.
+func (b *breaker) success() (from, to string) {
+	if b.disabled() {
+		return "", ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.fails = 0
+	if b.state == BreakerClosed {
+		return "", ""
+	}
+	prev := b.state
+	b.state = BreakerClosed
+	return prev, BreakerClosed
+}
+
+// failure settles one acquired submission unfavorably. A half-open
+// probe failure re-opens immediately; a closed circuit opens once the
+// streak reaches the threshold. The cooldown gets full seeded jitter on
+// its upper half (like every other backoff in the repo) so many
+// breakers opened by one chaos window do not probe in lockstep.
+func (b *breaker) failure(now time.Time) (from, to string) {
+	if b.disabled() {
+		return "", ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.fails++
+	open := b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.fails >= b.threshold)
+	if !open || b.state == BreakerOpen {
+		return "", ""
+	}
+	prev := b.state
+	b.state = BreakerOpen
+	b.openUntil = now.Add(b.cooldown/2 + time.Duration(b.rng.Int63n(int64(b.cooldown/2)+1)))
+	return prev, BreakerOpen
+}

@@ -97,6 +97,25 @@ type Config struct {
 	// ProbeBackoffMax caps the exponential backoff between probes of a
 	// flapping backend (default 30s).
 	ProbeBackoffMax time.Duration
+	// MarkDownAfter is how many consecutive probe failures demote a
+	// replica to unhealthy (default 2) — hysteresis so one probe lost to
+	// a latency spike does not flap routing or move consistent-hash
+	// keys. Passive mark-down (a forwarded request hitting a transport
+	// failure) stays immediate: a died connection is hard evidence.
+	MarkDownAfter int
+	// BreakerThreshold is how many consecutive submit failures
+	// (transport errors or 5xx responses) open a backend's circuit
+	// (default 3; negative disables circuit breaking).
+	BreakerThreshold int
+	// BreakerCooldown is the open→half-open delay (default 5s), with
+	// seeded full jitter on the upper half so breakers opened together
+	// do not probe in lockstep.
+	BreakerCooldown time.Duration
+	// HedgeDelay, when positive, hedges idempotent run-status GETs: if
+	// the first replica has not answered within the delay, the same
+	// read is raced against the next candidate and the first useful
+	// response wins (the loser is canceled). Zero disables hedging.
+	HedgeDelay time.Duration
 	// Rate is the global admission rate in requests/second (0 = no
 	// global limit). Burst is the token-bucket depth (default
 	// max(1, Rate)).
@@ -116,6 +135,10 @@ type Config struct {
 	// synchronously in submission order. Tests use it to assert the
 	// determinism contract.
 	OnDecision func(Decision)
+	// OnBreaker, when non-nil, observes every circuit-breaker
+	// transition synchronously in occurrence order — the breaker half
+	// of the determinism contract.
+	OnBreaker func(BreakerTransition)
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +153,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeBackoffMax <= 0 {
 		c.ProbeBackoffMax = 30 * time.Second
+	}
+	if c.MarkDownAfter <= 0 {
+		c.MarkDownAfter = 2
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
 	}
 	if c.Burst <= 0 && c.Rate > 0 {
 		c.Burst = max(1, c.Rate)
@@ -154,7 +186,8 @@ type Gate struct {
 	clock   Clock
 	hc      *http.Client
 
-	seq atomic.Uint64
+	seq   atomic.Uint64
+	btSeq atomic.Uint64 // breaker-transition sequence
 
 	stop   context.CancelFunc
 	wg     sync.WaitGroup
@@ -213,6 +246,20 @@ func (g *Gate) Policy() string { return g.router.Policy() }
 // order). The background loop calls this on its ticker; tests call it
 // directly for deterministic health transitions.
 func (g *Gate) ProbeAll(ctx context.Context) { g.reg.ProbeAll(ctx) }
+
+// breakerMoved publishes one circuit transition to the metrics
+// families and the OnBreaker hook, in occurrence order. No-op for the
+// empty transition the breaker returns when nothing moved.
+func (g *Gate) breakerMoved(rep *Replica, from, to string) {
+	if to == "" {
+		return
+	}
+	t := BreakerTransition{Seq: g.btSeq.Add(1) - 1, Backend: rep.Name, From: from, To: to}
+	g.metrics.observeBreakerTransition(t)
+	if g.cfg.OnBreaker != nil {
+		g.cfg.OnBreaker(t)
+	}
+}
 
 // probeLoop drives active health probing until Shutdown.
 func (g *Gate) probeLoop(ctx context.Context) {

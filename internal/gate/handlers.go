@@ -2,12 +2,15 @@ package gate
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"time"
 
 	"piumagcn/internal/bench"
 	"piumagcn/internal/serve"
@@ -107,6 +110,7 @@ func (g *Gate) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	runID := serve.RunID(req.Experiment, *req.Options)
 	rc := RouteContext{Seq: g.seq.Add(1) - 1, RunID: runID, Class: class}
+	deadline := g.parseDeadline(r, start)
 
 	candidates := g.reg.Healthy()
 	if len(candidates) == 0 {
@@ -115,8 +119,44 @@ func (g *Gate) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "no healthy backend")
 		return
 	}
+	// last5xx remembers a backend's server error to relay if every
+	// alternative also fails: a 5xx opens the circuit and resubmits the
+	// run elsewhere (idempotent — the RunID is a content address), but
+	// the client still deserves the original error when the whole
+	// cluster is burning.
+	var last5xx *http.Response
+	var last5xxRep *Replica
+	circuitRefused := false
 	for attempt := 0; len(candidates) > 0; attempt++ {
-		rep := g.router.Pick(rc, candidates)
+		if !deadline.IsZero() && !g.clock.Now().Before(deadline) {
+			discardIf(last5xx)
+			g.metrics.incDeadlineExceeded()
+			writeError(w, http.StatusGatewayTimeout, "deadline budget exhausted at the gate")
+			return
+		}
+		// Circuit filter: route only among backends whose breaker admits
+		// traffic right now (closed, cooled-down open, or half-open with
+		// a free probe slot).
+		now := g.clock.Now()
+		avail := make([]*Replica, 0, len(candidates))
+		for _, rep := range candidates {
+			if rep.breaker.available(now) {
+				avail = append(avail, rep)
+			}
+		}
+		if len(avail) == 0 {
+			circuitRefused = true
+			break
+		}
+		rep := g.router.Pick(rc, avail)
+		ok, from, to := rep.breaker.acquire(now)
+		g.breakerMoved(rep, from, to)
+		if !ok {
+			// A concurrent request took the half-open probe slot between
+			// the availability check and the claim.
+			candidates = without(candidates, rep)
+			continue
+		}
 		if g.cfg.OnDecision != nil {
 			g.cfg.OnDecision(Decision{
 				Seq: rc.Seq, RunID: runID,
@@ -129,38 +169,102 @@ func (g *Gate) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 
 		rep.addInFlight(1)
-		resp, err := g.forward(r, rep, http.MethodPost, "/v1/runs", body)
+		resp, err := g.forward(r, rep, http.MethodPost, "/v1/runs", body, deadline)
 		if err != nil {
 			rep.addInFlight(-1)
+			if errors.Is(err, errBudgetExhausted) {
+				rep.breaker.release()
+				discardIf(last5xx)
+				g.metrics.incDeadlineExceeded()
+				writeError(w, http.StatusGatewayTimeout, "deadline budget exhausted at the gate")
+				return
+			}
 			if r.Context().Err() != nil {
-				return // client gone; nothing useful to write
+				// Client gone: no verdict on the backend.
+				rep.breaker.release()
+				discardIf(last5xx)
+				return
 			}
 			// Backend died mid-flight. Resubmitting elsewhere is safe:
 			// the RunID is a content address, so the worst case is a
 			// dedup/cache hit when the corpse comes back — never a
 			// duplicate simulation surfacing twice.
+			from, to = rep.breaker.failure(g.clock.Now())
+			g.breakerMoved(rep, from, to)
 			g.reg.MarkDown(rep)
 			candidates = without(candidates, rep)
 			continue
 		}
+		if resp.StatusCode >= 500 {
+			// The process is reachable but serving errors — exactly what
+			// the circuit breaker exists for. The registry still sees it
+			// healthy (healthz may be fine); the breaker routes around it.
+			from, to = rep.breaker.failure(g.clock.Now())
+			g.breakerMoved(rep, from, to)
+			candidates = without(candidates, rep)
+			if len(candidates) > 0 {
+				rep.addInFlight(-1)
+				discardIf(last5xx)
+				last5xx, last5xxRep = resp, rep
+				g.metrics.incServerErrRetry()
+				continue
+			}
+			discardIf(last5xx)
+			g.relay(w, resp, rep)
+			rep.addInFlight(-1)
+			return
+		}
+		from, to = rep.breaker.success()
+		g.breakerMoved(rep, from, to)
+		discardIf(last5xx)
 		g.relay(w, resp, rep)
 		rep.addInFlight(-1)
+		return
+	}
+	if last5xx != nil {
+		g.relay(w, last5xx, last5xxRep)
+		return
+	}
+	if circuitRefused {
+		g.metrics.incBreakerRejected()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "every healthy backend's circuit is open")
 		return
 	}
 	g.metrics.incNoBackend()
 	writeError(w, http.StatusBadGateway, "every healthy backend died while forwarding the run")
 }
 
+// parseDeadline derives the absolute deadline from the caller's
+// X-Piuma-Deadline-Ms budget header (zero when absent or malformed —
+// a malformed budget is ignored rather than rejected, because the
+// header is advisory end-to-end metadata, not part of the API shape).
+func (g *Gate) parseDeadline(r *http.Request, start time.Time) time.Time {
+	v := r.Header.Get(serve.DeadlineHeader)
+	if v == "" {
+		return time.Time{}
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}
+	}
+	return start.Add(time.Duration(ms) * time.Millisecond)
+}
+
 // handleRead serves the per-run read/cancel endpoints by trying each
 // healthy replica in order until one knows the run. Under the
 // cache-affinity policy the run's home replica is tried first, so the
-// common case is a single upstream request.
+// common case is a single upstream request. Idempotent GETs are hedged
+// when HedgeDelay is set: a primary stuck in a chaos latency window is
+// raced against the next candidate and the first useful answer wins.
 func (g *Gate) handleRead(w http.ResponseWriter, r *http.Request) {
+	start := g.clock.Now()
 	id := r.PathValue("id")
 	path := "/v1/runs/" + id
 	if r.Method == http.MethodGet && len(r.URL.Path) > len(path) {
 		path += "/profile"
 	}
+	deadline := g.parseDeadline(r, start)
 	candidates := g.reg.Healthy()
 	if len(candidates) == 0 {
 		g.metrics.incNoBackend()
@@ -171,11 +275,28 @@ func (g *Gate) handleRead(w http.ResponseWriter, r *http.Request) {
 	if a, ok := g.router.(*affinity); ok {
 		candidates = preferFirst(candidates, a.Pick(RouteContext{RunID: id}, candidates))
 	}
-	var last *http.Response
+	if r.Method == http.MethodGet && g.cfg.HedgeDelay > 0 && len(candidates) >= 2 {
+		g.hedgedRead(w, r, path, id, candidates, deadline)
+		return
+	}
+	g.serialRead(w, r, path, id, candidates, nil, deadline)
+}
+
+// serialRead walks candidates in order until one knows the run. last
+// carries a remembered 404 from an earlier (hedged) attempt so the
+// backend's own error body is relayed when nobody owns the run.
+func (g *Gate) serialRead(w http.ResponseWriter, r *http.Request, path, id string, candidates []*Replica, last *http.Response, deadline time.Time) {
 	for _, rep := range candidates {
-		resp, err := g.forward(r, rep, r.Method, path, nil)
+		resp, err := g.forward(r, rep, r.Method, path, nil, deadline)
 		if err != nil {
+			if errors.Is(err, errBudgetExhausted) {
+				discardIf(last)
+				g.metrics.incDeadlineExceeded()
+				writeError(w, http.StatusGatewayTimeout, "deadline budget exhausted at the gate")
+				return
+			}
 			if r.Context().Err() != nil {
+				discardIf(last)
 				return
 			}
 			g.reg.MarkDown(rep)
@@ -184,15 +305,11 @@ func (g *Gate) handleRead(w http.ResponseWriter, r *http.Request) {
 		if resp.StatusCode == http.StatusNotFound {
 			// Another replica may own the run; keep looking, but
 			// remember one 404 to relay if nobody does.
-			if last != nil {
-				discard(last)
-			}
+			discardIf(last)
 			last = resp
 			continue
 		}
-		if last != nil {
-			discard(last)
-		}
+		discardIf(last)
 		g.relay(w, resp, rep)
 		return
 	}
@@ -202,6 +319,114 @@ func (g *Gate) handleRead(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeError(w, http.StatusBadGateway, "every healthy backend died while looking up run "+id)
+}
+
+// hedgedRead races a GET between the top two candidates: the primary
+// starts immediately; if it has not answered within HedgeDelay the
+// same read launches against the second candidate, and the first
+// useful response (non-404, non-error) wins. The loser's context is
+// canceled and its result reaped in the background, so neither
+// goroutines nor response bodies leak. Canceled losers are not marked
+// down — losing a race is not evidence of death.
+func (g *Gate) hedgedRead(w http.ResponseWriter, r *http.Request, path, id string, candidates []*Replica, deadline time.Time) {
+	type result struct {
+		idx  int
+		rep  *Replica
+		resp *http.Response
+		err  error
+	}
+	base := r.Context()
+	results := make(chan result, 2)
+	cancels := make([]context.CancelFunc, 2)
+	launch := func(idx int, rep *Replica) {
+		actx, cancel := context.WithCancel(base)
+		cancels[idx] = cancel
+		go func() {
+			resp, err := g.forwardCtx(actx, r, rep, r.Method, path, nil, deadline)
+			results <- result{idx: idx, rep: rep, resp: resp, err: err}
+		}()
+	}
+	launch(0, candidates[0])
+	timer := time.NewTimer(g.cfg.HedgeDelay)
+	defer timer.Stop()
+
+	launched, settled := 1, 0
+	var winner *result
+	var last *http.Response // remembered 404
+	settle := func(res result) {
+		settled++
+		if res.err != nil {
+			// A loser canceled by us (or a client hangup) says nothing
+			// about the backend; only organic errors mark it down.
+			if base.Err() == nil && cancels[res.idx] != nil && !errors.Is(res.err, context.Canceled) && !errors.Is(res.err, errBudgetExhausted) {
+				g.reg.MarkDown(res.rep)
+			}
+			return
+		}
+		if res.resp.StatusCode == http.StatusNotFound {
+			discardIf(last)
+			last = res.resp
+			return
+		}
+		if winner == nil {
+			winner = &res
+			return
+		}
+		discard(res.resp)
+	}
+	for winner == nil && settled < launched {
+		if launched == 1 {
+			select {
+			case res := <-results:
+				settle(res)
+			case <-timer.C:
+				g.metrics.incHedge()
+				launch(1, candidates[1])
+				launched = 2
+			}
+		} else {
+			settle(<-results)
+		}
+	}
+	// Cancel whatever is still in flight and reap its result in the
+	// background (the losing transport owns a connection until its body
+	// is closed; under -race the leak detector would catch us dropping
+	// it on the floor).
+	if remaining := launched - settled; remaining > 0 {
+		for i := 0; i < launched; i++ {
+			if (winner == nil || i != winner.idx) && cancels[i] != nil {
+				cancels[i]()
+			}
+		}
+		go func(n int) {
+			for i := 0; i < n; i++ {
+				res := <-results
+				if res.resp != nil {
+					discard(res.resp)
+				}
+			}
+		}(remaining)
+	}
+	if winner != nil {
+		defer cancels[winner.idx]()
+		if winner.idx == 1 {
+			g.metrics.incHedgeWin()
+		}
+		discardIf(last)
+		g.relay(w, winner.resp, winner.rep)
+		return
+	}
+	for i := 0; i < launched; i++ {
+		if cancels[i] != nil {
+			cancels[i]()
+		}
+	}
+	if base.Err() != nil {
+		discardIf(last)
+		return
+	}
+	// Both hedged attempts came back useless; walk the rest serially.
+	g.serialRead(w, r, path, id, candidates[2:], last, deadline)
 }
 
 // clusterRun is one run in the gate's merged listing: the backend name
@@ -219,7 +444,7 @@ func (g *Gate) handleList(w http.ResponseWriter, r *http.Request) {
 	runs := make([]clusterRun, 0, 64)
 	reached := false
 	for _, rep := range g.reg.Healthy() {
-		resp, err := g.forward(r, rep, http.MethodGet, "/v1/runs", nil)
+		resp, err := g.forward(r, rep, http.MethodGet, "/v1/runs", nil, time.Time{})
 		if err != nil {
 			if r.Context().Err() != nil {
 				return
@@ -266,7 +491,7 @@ func (g *Gate) handleList(w http.ResponseWriter, r *http.Request) {
 // healthy replica (every replica serves the same registry).
 func (g *Gate) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	for _, rep := range g.reg.Healthy() {
-		resp, err := g.forward(r, rep, http.MethodGet, "/v1/experiments", nil)
+		resp, err := g.forward(r, rep, http.MethodGet, "/v1/experiments", nil, time.Time{})
 		if err != nil {
 			if r.Context().Err() != nil {
 				return
@@ -314,9 +539,24 @@ func (g *Gate) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g.metrics.render(w, g.reg)
 }
 
-// forward issues one upstream request. body may be nil (reads); the
-// original query string and the SLO-class header ride along.
-func (g *Gate) forward(r *http.Request, rep *Replica, method, path string, body []byte) (*http.Response, error) {
+// errBudgetExhausted marks a forward refused because the propagated
+// deadline budget was already spent at the gate.
+var errBudgetExhausted = errors.New("gate: deadline budget exhausted")
+
+// forward issues one upstream request on the incoming request's
+// context. body may be nil (reads); the original query string and the
+// SLO-class header ride along.
+func (g *Gate) forward(r *http.Request, rep *Replica, method, path string, body []byte, deadline time.Time) (*http.Response, error) {
+	return g.forwardCtx(r.Context(), r, rep, method, path, body, deadline)
+}
+
+// forwardCtx is forward with an explicit context (hedged reads run
+// attempts under per-attempt cancelable contexts). A non-zero deadline
+// is the propagated budget: the remaining milliseconds are re-stamped
+// on the upstream X-Piuma-Deadline-Ms header — decremented by however
+// long the gate has already held the request — and a spent budget
+// refuses the forward outright with errBudgetExhausted.
+func (g *Gate) forwardCtx(ctx context.Context, r *http.Request, rep *Replica, method, path string, body []byte, deadline time.Time) (*http.Response, error) {
 	u := rep.URL + path
 	if r.URL.RawQuery != "" {
 		u += "?" + r.URL.RawQuery
@@ -325,7 +565,7 @@ func (g *Gate) forward(r *http.Request, rep *Replica, method, path string, body 
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), method, u, rd)
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -334,6 +574,13 @@ func (g *Gate) forward(r *http.Request, rep *Replica, method, path string, body 
 	}
 	if v := r.Header.Get(serve.SLOClassHeader); v != "" {
 		req.Header.Set(serve.SLOClassHeader, v)
+	}
+	if !deadline.IsZero() {
+		remain := deadline.Sub(g.clock.Now())
+		if remain <= 0 {
+			return nil, errBudgetExhausted
+		}
+		req.Header.Set(serve.DeadlineHeader, strconv.FormatInt(max(1, remain.Milliseconds()), 10))
 	}
 	return g.hc.Do(req)
 }
@@ -363,6 +610,13 @@ func (g *Gate) relay(w http.ResponseWriter, resp *http.Response, rep *Replica) {
 func discard(resp *http.Response) {
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
+}
+
+// discardIf discards resp when non-nil.
+func discardIf(resp *http.Response) {
+	if resp != nil {
+		discard(resp)
+	}
 }
 
 // without returns candidates minus rep, preserving order.

@@ -32,6 +32,16 @@ type metrics struct {
 	probeFails   *obs.CounterVec   // by backend
 	recoveries   *obs.CounterVec   // by backend
 
+	// Circuit breakers, hedging and deadline budgets (the chaos-layer
+	// resilience machinery).
+	breakerState     *obs.GaugeVec   // 0 closed, 1 half-open, 2 open; by backend
+	breakerMoves     *obs.CounterVec // transitions, by backend and destination state
+	breakerRejected  *obs.Counter    // submissions refused: every candidate's circuit open
+	serverErrRetries *obs.Counter    // submissions resubmitted after a backend 5xx
+	hedges           *obs.Counter    // hedged reads launched
+	hedgeWins        *obs.Counter    // hedged reads won by the second request
+	deadlineExceeded *obs.Counter    // requests refused/stopped with the budget spent
+
 	// Scraped per-backend aggregates (pull-through from each replica's
 	// /metrics at exposition time; see scrape.go).
 	backendUp        *obs.GaugeVec
@@ -68,6 +78,21 @@ func newMetrics() *metrics {
 			"Failed health probes plus passive mark-downs, by backend.", "backend"),
 		recoveries: reg.CounterVec("piumagate_backend_recoveries_total",
 			"Down-to-healthy probe transitions, by backend.", "backend"),
+
+		breakerState: reg.GaugeVec("piumagate_breaker_state",
+			"Circuit state per backend (0 closed, 1 half-open, 2 open).", "backend"),
+		breakerMoves: reg.CounterVec("piumagate_breaker_transitions_total",
+			"Circuit transitions, by backend and destination state.", "backend", "state"),
+		breakerRejected: reg.Counter("piumagate_breaker_rejected_total",
+			"Submissions refused because every healthy backend's circuit was open."),
+		serverErrRetries: reg.Counter("piumagate_server_error_retries_total",
+			"Submissions resubmitted to another replica after a backend 5xx."),
+		hedges: reg.Counter("piumagate_hedged_reads_total",
+			"Run-status reads hedged to a second replica after the hedge delay."),
+		hedgeWins: reg.Counter("piumagate_hedge_wins_total",
+			"Hedged reads won by the second (hedge) request."),
+		deadlineExceeded: reg.Counter("piumagate_deadline_exhausted_total",
+			"Requests refused or abandoned because the propagated deadline budget was spent."),
 
 		backendUp: reg.GaugeVec("piumagate_backend_up",
 			"Whether the last /metrics scrape of the backend succeeded.", "backend"),
@@ -149,6 +174,36 @@ func (m *metrics) routedInc(policy, backend string) { m.routed.With(policy, back
 func (m *metrics) incFailover()   { m.failovers.Inc() }
 func (m *metrics) incNoBackend()  { m.noBackend.Inc() }
 func (m *metrics) incProxyError() { m.proxyErrors.Inc() }
+
+func (m *metrics) incBreakerRejected()  { m.breakerRejected.Inc() }
+func (m *metrics) incServerErrRetry()   { m.serverErrRetries.Inc() }
+func (m *metrics) incHedge()            { m.hedges.Inc() }
+func (m *metrics) incHedgeWin()         { m.hedgeWins.Inc() }
+func (m *metrics) incDeadlineExceeded() { m.deadlineExceeded.Inc() }
+
+// breakerStateValue maps a circuit state onto its gauge encoding.
+func breakerStateValue(state string) float64 {
+	switch state {
+	case BreakerHalfOpen:
+		return 1
+	case BreakerOpen:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func (m *metrics) setBreakerState(backend string, v float64) { m.breakerState.With(backend).Set(v) }
+
+// observeBreakerTransition counts one circuit move and refreshes the
+// state gauge. Both label values come from BreakerTransition's closed
+// vocabularies (gate.BreakerTransition.Backend — the registry's fixed
+// name set — and gate.BreakerTransition.To — the three breaker state
+// constants), sanctioned in the metriclabels analyzer.
+func (m *metrics) observeBreakerTransition(t BreakerTransition) {
+	m.breakerMoves.With(t.Backend, t.To).Inc()
+	m.setBreakerState(t.Backend, breakerStateValue(t.To))
+}
 
 func (m *metrics) setBackendHealthy(backend string, v float64) { m.backendState.With(backend).Set(v) }
 func (m *metrics) setBackendInFlight(backend string, v float64) {

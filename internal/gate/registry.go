@@ -23,8 +23,9 @@ type Replica struct {
 	// URL is the backend's base URL.
 	URL string
 
-	idx    int
-	client *serve.Client
+	idx     int
+	client  *serve.Client
+	breaker *breaker
 
 	mu           sync.Mutex
 	healthy      bool
@@ -48,6 +49,9 @@ func (r *Replica) InFlight() int {
 	return r.inFlight
 }
 
+// BreakerState is the replica's circuit state (closed/open/half-open).
+func (r *Replica) BreakerState() string { return r.breaker.State() }
+
 // Fails is the consecutive-failure count (probe or passive).
 func (r *Replica) Fails() int {
 	r.mu.Lock()
@@ -69,9 +73,10 @@ type Registry struct {
 	clock    Clock
 	metrics  *metrics
 
-	probeTimeout time.Duration
-	interval     time.Duration
-	backoffMax   time.Duration
+	probeTimeout  time.Duration
+	interval      time.Duration
+	backoffMax    time.Duration
+	markDownAfter int
 
 	mu  sync.Mutex
 	rng *rand.Rand // seeded backoff jitter
@@ -81,12 +86,13 @@ type Registry struct {
 // starts healthy; probing and passive mark-down correct that.
 func NewRegistry(cfg Config, m *metrics) (*Registry, error) {
 	reg := &Registry{
-		clock:        cfg.Clock,
-		metrics:      m,
-		probeTimeout: cfg.ProbeTimeout,
-		interval:     cfg.ProbeInterval,
-		backoffMax:   cfg.ProbeBackoffMax,
-		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		clock:         cfg.Clock,
+		metrics:       m,
+		probeTimeout:  cfg.ProbeTimeout,
+		interval:      cfg.ProbeInterval,
+		backoffMax:    cfg.ProbeBackoffMax,
+		markDownAfter: max(1, cfg.MarkDownAfter),
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if reg.interval <= 0 {
 		// Probing disabled: backoff arithmetic still needs a base.
@@ -102,15 +108,22 @@ func NewRegistry(cfg Config, m *metrics) (*Registry, error) {
 			return nil, fmt.Errorf("gate: duplicate backend %s", u)
 		}
 		seen[u] = true
+		client := serve.NewClient(u, cfg.HTTPClient)
+		// Probes are single-attempt on purpose: client-side GET retries
+		// would hide exactly the flakiness the prober exists to count
+		// (MarkDownAfter is the sanctioned damping).
+		client.SetRetries(0, 0, cfg.Seed)
 		rep := &Replica{
 			Name:    "b" + strconv.Itoa(i),
 			URL:     u,
 			idx:     i,
-			client:  serve.NewClient(u, cfg.HTTPClient),
+			client:  client,
+			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Seed+int64(i)+1),
 			healthy: true,
 		}
 		reg.replicas = append(reg.replicas, rep)
 		m.setBackendHealthy(rep.Name, 1)
+		m.setBreakerState(rep.Name, breakerStateValue(BreakerClosed))
 	}
 	return reg, nil
 }
@@ -165,7 +178,12 @@ func (reg *Registry) ProbeAll(ctx context.Context) {
 	}
 }
 
-// probe runs one health check against r and applies the outcome.
+// probe runs one health check against r and applies the outcome. A
+// failed probe demotes the replica only once markDownAfter consecutive
+// failures accumulate — hysteresis, so one probe lost to a chaos
+// latency spike does not flap routing (or move every consistent-hash
+// key the replica owns). Passive MarkDown is not damped: a forwarded
+// request dying on the wire is direct evidence.
 func (reg *Registry) probe(ctx context.Context, r *Replica) {
 	pctx, cancel := context.WithTimeout(ctx, reg.probeTimeout)
 	err := r.client.Healthz(pctx)
@@ -184,11 +202,16 @@ func (reg *Registry) probe(ctx context.Context, r *Replica) {
 		}
 		return
 	}
-	r.healthy = false
 	r.fails++
+	demoted := r.fails >= reg.markDownAfter
+	if demoted {
+		r.healthy = false
+	}
 	r.backoffUntil = now.Add(reg.backoff(r.fails))
 	r.mu.Unlock()
-	reg.metrics.setBackendHealthy(r.Name, 0)
+	if demoted {
+		reg.metrics.setBackendHealthy(r.Name, 0)
+	}
 	reg.metrics.incProbeFailure(r.Name)
 }
 
@@ -218,12 +241,16 @@ type Status struct {
 	Healthy  bool   `json:"healthy"`
 	InFlight int    `json:"in_flight"`
 	Fails    int    `json:"fails,omitempty"`
+	// Breaker is the replica's circuit state ("closed", "open",
+	// "half-open").
+	Breaker string `json:"breaker"`
 }
 
 // StatusAll snapshots every replica in registration order.
 func (reg *Registry) StatusAll() []Status {
 	out := make([]Status, 0, len(reg.replicas))
 	for _, r := range reg.replicas {
+		br := r.breaker.State()
 		r.mu.Lock()
 		out = append(out, Status{
 			Name:     r.Name,
@@ -231,6 +258,7 @@ func (reg *Registry) StatusAll() []Status {
 			Healthy:  r.healthy,
 			InFlight: r.inFlight,
 			Fails:    r.fails,
+			Breaker:  br,
 		})
 		r.mu.Unlock()
 	}

@@ -41,10 +41,15 @@ var MetricLabelsAnalyzer = &Analyzer{
 // "pkgname.Type.Field". gate.Replica.Name is bounded because replica
 // names are assigned by index at registry construction ("b0", "b1",
 // ...) and the replica set never grows after gate.New.
+// gate.BreakerTransition's Backend and To fields are bounded for the
+// same reasons: Backend is always a Replica.Name, and To is one of the
+// three breaker state constants (closed/open/half-open).
 var boundedFields = map[string]bool{
-	"bench.Experiment.ID":  true,
-	"obs.ClassStats.Class": true,
-	"gate.Replica.Name":    true,
+	"bench.Experiment.ID":            true,
+	"obs.ClassStats.Class":           true,
+	"gate.Replica.Name":              true,
+	"gate.BreakerTransition.Backend": true,
+	"gate.BreakerTransition.To":      true,
 }
 
 // labelTraceDepth bounds the parameter-to-call-site recursion.

@@ -92,3 +92,14 @@ func setBackend(name string) {
 func Refresh(c ClassStats) {
 	setBackend(c.Class)
 }
+
+// BreakerTransition mimics gate.BreakerTransition. Here the fields
+// qualify as obs.BreakerTransition.Backend/.To — not the sanctioned
+// gate.BreakerTransition ones — so the chaos-layer sanction does not
+// transfer across packages either. want ×2.
+type BreakerTransition struct{ Backend, To string }
+
+// TrackBreaker selects both look-alike fields. want ×2.
+func TrackBreaker(t BreakerTransition) {
+	requests.With(t.Backend, t.To).Inc()
+}

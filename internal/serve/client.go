@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
 	"piumagcn/internal/bench"
@@ -24,6 +27,15 @@ const SLOClassHeader = "X-SLO-Class"
 // name; the gate (internal/gate) reads it to attribute fan-out
 // responses and forwards it to its own clients.
 const ReplicaHeader = "X-Piuma-Replica"
+
+// DeadlineHeader carries the caller's remaining deadline budget in
+// whole milliseconds, end to end: the client stamps it from its
+// context deadline, the gate decrements it by however long it held the
+// request before forwarding, and the replica caps the run's execution
+// budget with whatever is left — so a run never burns simulation time
+// its caller has already given up on. The value is advisory metadata:
+// absent or malformed budgets are ignored, never rejected.
+const DeadlineHeader = "X-Piuma-Deadline-Ms"
 
 // DefaultHTTPClient returns the hardened client NewClient installs
 // when the caller passes nil: every phase of a request that can stall
@@ -59,6 +71,15 @@ func DefaultHTTPClient() *http.Client {
 type Client struct {
 	baseURL string
 	http    *http.Client
+
+	// Idempotent-GET retry policy (SetRetries). Retrying is safe only
+	// for reads: Healthz and run-status polls are re-issued on transient
+	// transport errors with seeded jittered backoff, bounded by the
+	// caller's context.
+	retries int
+	backoff time.Duration
+	mu      sync.Mutex
+	rng     *rand.Rand
 }
 
 // NewClient targets a piumaserve (or httptest) base URL like
@@ -67,12 +88,92 @@ type Client struct {
 // response-header timeouts, so a health probe or fan-out request
 // against a dead backend can never hang its caller's goroutine
 // forever. Per-request deadlines come from the caller's context
-// either way.
+// either way. Idempotent GETs retry twice on transport errors by
+// default; tune or disable with SetRetries.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = DefaultHTTPClient()
 	}
-	return &Client{baseURL: baseURL, http: httpClient}
+	return &Client{
+		baseURL: baseURL,
+		http:    httpClient,
+		retries: 2,
+		backoff: 50 * time.Millisecond,
+		rng:     rand.New(rand.NewSource(1)),
+	}
+}
+
+// SetRetries tunes the idempotent-GET retry policy: up to n retries
+// after the first attempt (0 disables), exponential backoff from base
+// with full seeded jitter on the upper half. The gate's health prober
+// sets n=0 — client-side retries would hide exactly the flakiness the
+// prober exists to count.
+func (c *Client) SetRetries(n int, base time.Duration, seed int64) {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	c.mu.Lock()
+	c.retries = n
+	c.backoff = base
+	c.rng = rand.New(rand.NewSource(seed))
+	c.mu.Unlock()
+}
+
+// retryDelay is the sleep before retry attempt (1-based): exponential
+// from the base with seeded full jitter on the upper half, mirroring
+// every other backoff in the repo.
+func (c *Client) retryDelay(attempt int) time.Duration {
+	d := c.backoff
+	if attempt > 1 {
+		d <<= min(attempt-1, 6)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// doIdempotent issues a request built by build, retrying transient
+// transport errors up to the configured retry budget. The request is
+// rebuilt per attempt (bodies are nil for the GETs this serves, but a
+// fresh request also resets per-attempt header state). Retries stop
+// the moment the caller's context dies.
+func (c *Client) doIdempotent(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	c.mu.Lock()
+	retries := c.retries
+	c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || attempt >= retries {
+			return nil, lastErr
+		}
+		t := time.NewTimer(c.retryDelay(attempt + 1))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, lastErr
+		case <-t.C:
+		}
+	}
+}
+
+// stampDeadline copies the context's remaining deadline budget (if
+// any) onto the request as whole milliseconds, starting end-to-end
+// deadline propagation.
+func stampDeadline(ctx context.Context, req *http.Request) {
+	if d, ok := ctx.Deadline(); ok {
+		if ms := time.Until(d).Milliseconds(); ms > 0 {
+			req.Header.Set(DeadlineHeader, strconv.FormatInt(max(1, ms), 10))
+		}
+	}
 }
 
 // Base returns the client's base URL.
@@ -89,47 +190,127 @@ func (c *Client) Base() string {
 // backpressure without string-matching errors. class, when non-empty,
 // rides in the X-SLO-Class header.
 func (c *Client) SubmitAndWait(ctx context.Context, experiment string, o bench.Options, class string) (RunResource, int, error) {
+	res, status, _, err := c.SubmitAndWaitInfo(ctx, experiment, o, class)
+	return res, status, err
+}
+
+// SubmitAndWaitInfo is SubmitAndWait plus the response's Retry-After
+// duration (zero when absent), so callers can honor backpressure
+// hints on 429/503 instead of guessing.
+//
+// Submission survives a replica restart: the run ID is a content
+// address computed client-side, so when the POST dies on the wire the
+// client polls GET /v1/runs/{id}?wait=true — if the run landed before
+// the crash the poll rides it to completion, and a 404 (the run never
+// arrived, or the journal lost it) re-POSTs. Either way the caller's
+// context bounds the whole dance.
+func (c *Client) SubmitAndWaitInfo(ctx context.Context, experiment string, o bench.Options, class string) (RunResource, int, time.Duration, error) {
 	body, err := json.Marshal(struct {
 		Experiment string        `json:"experiment"`
 		Options    bench.Options `json:"options"`
 	}{experiment, o})
 	if err != nil {
-		return RunResource{}, 0, fmt.Errorf("serve: encoding submit body: %w", err)
+		return RunResource{}, 0, 0, fmt.Errorf("serve: encoding submit body: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/runs?wait=true", bytes.NewReader(body))
+	id := RunID(experiment, o)
+	var lastErr error
+	for resubmits := 0; resubmits < 4; resubmits++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/runs?wait=true", bytes.NewReader(body))
+		if err != nil {
+			return RunResource{}, 0, 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if class != "" {
+			req.Header.Set(SLOClassHeader, class)
+		}
+		stampDeadline(ctx, req)
+		resp, err := c.http.Do(req)
+		if err != nil {
+			// The POST died on the wire; the run may or may not have
+			// landed. Poll the content address to find out.
+			lastErr = err
+			if ctx.Err() != nil {
+				return RunResource{}, 0, 0, lastErr
+			}
+			res, status, rerr := c.Run(ctx, id, true)
+			if rerr != nil {
+				return RunResource{}, 0, 0, rerr
+			}
+			if status == http.StatusNotFound {
+				// The run never arrived (or a restart lost the journal
+				// tail). Re-POST; dedup makes a double landing harmless.
+				continue
+			}
+			return res, status, 0, nil
+		}
+		return decodeRunResponse(resp)
+	}
+	return RunResource{}, 0, 0, fmt.Errorf("serve: submission kept dying on the wire: %w", lastErr)
+}
+
+// Run fetches one run by ID; wait=true blocks until the run is
+// terminal. A 404 comes back as the status code with a nil error
+// (callers distinguish "unknown run" from transport failure). The
+// fetch is an idempotent GET, so it rides the client's retry policy
+// through transient transport errors — including the window where a
+// restarting replica is not yet listening.
+func (c *Client) Run(ctx context.Context, id string, wait bool) (RunResource, int, error) {
+	u := c.baseURL + "/v1/runs/" + id
+	if wait {
+		u += "?wait=true"
+	}
+	resp, err := c.doIdempotent(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		stampDeadline(ctx, req)
+		return req, nil
+	})
 	if err != nil {
 		return RunResource{}, 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	if class != "" {
-		req.Header.Set(SLOClassHeader, class)
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return RunResource{}, 0, err
-	}
+	res, status, _, err := decodeRunResponse(resp)
+	return res, status, err
+}
+
+// decodeRunResponse decodes a run-resource response, folding non-2xx
+// statuses into (code, nil-error) and extracting any Retry-After hint.
+func decodeRunResponse(resp *http.Response) (RunResource, int, time.Duration, error) {
 	defer resp.Body.Close()
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
 		// Drain the error body so the connection is reusable; the status
 		// code is the signal.
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return RunResource{}, resp.StatusCode, nil
+		return RunResource{}, resp.StatusCode, retryAfter, nil
 	}
 	var res RunResource
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-		return RunResource{}, resp.StatusCode, fmt.Errorf("serve: decoding run resource: %w", err)
+		return RunResource{}, resp.StatusCode, retryAfter, fmt.Errorf("serve: decoding run resource: %w", err)
 	}
-	return res, resp.StatusCode, nil
+	return res, resp.StatusCode, retryAfter, nil
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After value (the only
+// form this API emits); anything else is zero.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Healthz checks liveness; it returns an error while the server is
 // unreachable or draining.
 func (c *Client) Healthz(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/healthz", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.doIdempotent(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/healthz", nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -143,11 +324,9 @@ func (c *Client) Healthz(ctx context.Context) error {
 
 // Experiments lists the served registry.
 func (c *Client) Experiments(ctx context.Context) ([]ExperimentResource, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/experiments", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.doIdempotent(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/experiments", nil)
+	})
 	if err != nil {
 		return nil, err
 	}

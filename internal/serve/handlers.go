@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"piumagcn/internal/bench"
@@ -94,16 +96,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wait := r.URL.Query().Get("wait") == "true"
+	budget := deadlineBudget(r)
 
-	v, existing, err := s.Submit(req.Experiment, *req.Options, wait)
+	v, existing, err := s.SubmitWithBudget(req.Experiment, *req.Options, wait, budget)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
 	}
 	if wait && !v.Status.terminal() {
 		// Block on the run; if this client disconnects and nobody else
-		// wants the run, Wait cancels it.
-		v, err = s.Wait(r.Context(), v.ID)
+		// wants the run, Wait cancels it. A propagated deadline budget
+		// bounds the wait too (with a little grace so the run's own
+		// budget-derived timeout fires first and the response carries
+		// the terminal "timeout" snapshot, not a racing one).
+		v, err = s.waitBudgeted(r, v.ID, budget)
 		if err != nil {
 			// Client gone: nothing useful to write.
 			return
@@ -152,12 +158,47 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Query().Get("wait") == "true" && !v.Status.terminal() {
 		var err error
-		v, err = s.Wait(r.Context(), id)
+		v, err = s.waitBudgeted(r, id, deadlineBudget(r))
 		if err != nil {
 			return
 		}
 	}
 	writeJSON(w, http.StatusOK, resourceFromView(v, false))
+}
+
+// waitBudgeted blocks on a run like Wait, additionally bounded by the
+// request's propagated deadline budget (plus 50ms of grace so the
+// run's own budget-derived execution timeout lands first). When the
+// budget — not the client — ends the wait, the latest snapshot is
+// returned with a nil error so the handler answers with whatever state
+// the run reached; a client disconnect still surfaces as the error.
+func (s *Server) waitBudgeted(r *http.Request, id string, budget time.Duration) (RunView, error) {
+	ctx := r.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget+50*time.Millisecond)
+		defer cancel()
+	}
+	v, err := s.Wait(ctx, id)
+	if err != nil && r.Context().Err() == nil {
+		// Budget spent while waiting; the snapshot is the answer.
+		return v, nil
+	}
+	return v, err
+}
+
+// deadlineBudget reads the propagated X-Piuma-Deadline-Ms budget
+// (zero when absent or malformed — the header is advisory).
+func deadlineBudget(r *http.Request) time.Duration {
+	v := r.Header.Get(DeadlineHeader)
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
 }
 
 // handleRunProfile serves a done run's per-component simulation

@@ -179,6 +179,12 @@ type run struct {
 	// sweep point the previous boot completed.
 	cp *bench.Checkpoint
 
+	// deadline is the absolute end of the submission's propagated
+	// deadline budget (zero when none); limit is the effective execution
+	// timeout the worker derived from it and Config.RunTimeout.
+	deadline time.Time
+	limit    time.Duration
+
 	status Status
 	report *bench.Report
 	// profile aggregates the run's event-level simulations (per-
@@ -323,6 +329,17 @@ func (s *Server) validIDs() []string {
 // The bool result reports whether an existing run absorbed the request
 // (a dedup or cache hit).
 func (s *Server) Submit(experimentID string, o bench.Options, abandonable bool) (RunView, bool, error) {
+	return s.SubmitWithBudget(experimentID, o, abandonable, 0)
+}
+
+// SubmitWithBudget is Submit with an end-to-end deadline budget (the
+// propagated X-Piuma-Deadline-Ms header, already decremented by every
+// upstream hop). A positive budget caps the run's execution deadline:
+// the effective limit is min(RunTimeout, budget remaining at start),
+// counted from submission — time spent queued burns budget too. A run
+// killed by the budget reports the distinct "timeout" status with a
+// partial report, exactly like a RunTimeout kill. Zero means no budget.
+func (s *Server) SubmitWithBudget(experimentID string, o bench.Options, abandonable bool, budget time.Duration) (RunView, bool, error) {
 	e, ok := s.byID[experimentID]
 	if !ok {
 		return RunView{}, false, fmt.Errorf("%w %q (valid: %s)", ErrUnknownExperiment, experimentID, strings.Join(s.validIDs(), ", "))
@@ -365,6 +382,9 @@ func (s *Server) Submit(experimentID string, o bench.Options, abandonable bool) 
 		submitted:   time.Now(),
 		abandonable: abandonable,
 		done:        make(chan struct{}),
+	}
+	if budget > 0 {
+		r.deadline = r.submitted.Add(budget)
 	}
 	select {
 	case s.queue <- r:
@@ -630,15 +650,27 @@ func (s *Server) execute(r *run) {
 	}
 	r.status = StatusRunning
 	r.started = time.Now()
+	// The execution limit is RunTimeout capped by whatever remains of
+	// the propagated deadline budget — which may already be negative if
+	// the run sat queued past its deadline, in which case the timeout
+	// context below is born expired and the run reports "timeout" with
+	// an empty partial report without burning any simulation time.
+	limit := s.cfg.RunTimeout
+	if !r.deadline.IsZero() {
+		if rem := r.deadline.Sub(r.started); limit <= 0 || rem < limit {
+			limit = rem
+		}
+	}
+	r.limit = limit
 	s.journal(store.Started(r.id))
 	s.mu.Unlock()
 	s.metrics.incStarted()
 
 	ctx := r.ctx
 	var timeoutCtx context.Context
-	if s.cfg.RunTimeout > 0 {
+	if limit > 0 || !r.deadline.IsZero() {
 		var cancel context.CancelFunc
-		timeoutCtx, cancel = context.WithTimeout(ctx, s.cfg.RunTimeout)
+		timeoutCtx, cancel = context.WithTimeout(ctx, limit)
 		ctx = timeoutCtx
 		defer cancel()
 	}
@@ -690,10 +722,14 @@ func (s *Server) execute(r *run) {
 	if err != nil && rep == nil {
 		rep = cp.PartialReport(r.exp)
 	}
-	// Timeout vs cancel: the deadline context expired while the run's
-	// own context (user cancel / shutdown) is still live.
+	// Timeout vs cancel: context errors are sticky and first-cause
+	// wins, so DeadlineExceeded on the derived context proves the
+	// deadline fired before any user cancel or shutdown — even if the
+	// waiter abandoned the run between the deadline expiring and the
+	// kill landing at the next sweep-point check. A cancel that beat
+	// the deadline leaves Canceled here instead.
 	timedOut := timeoutCtx != nil &&
-		errors.Is(timeoutCtx.Err(), context.DeadlineExceeded) && r.ctx.Err() == nil
+		errors.Is(timeoutCtx.Err(), context.DeadlineExceeded)
 
 	s.mu.Lock()
 	r.profile = prof.Profile()
@@ -742,7 +778,11 @@ func (s *Server) finishLocked(r *run, rep *bench.Report, err error, timedOut boo
 	case timedOut:
 		r.status = StatusTimeout
 		r.report = rep
-		r.errMsg = fmt.Sprintf("run exceeded the %v timeout: %v", s.cfg.RunTimeout, err)
+		lim := r.limit
+		if lim <= 0 {
+			lim = s.cfg.RunTimeout
+		}
+		r.errMsg = fmt.Sprintf("run exceeded the %v timeout: %v", lim, err)
 		s.metrics.incTimedOut()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		r.status = StatusCanceled

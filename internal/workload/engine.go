@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -32,6 +33,9 @@ type Response struct {
 	RunID      string
 	Err        string
 	Latency    time.Duration
+	// Retried429 counts how many 429 responses this request absorbed by
+	// honoring Retry-After before the final outcome above.
+	Retried429 int64
 }
 
 // Client executes one request. Implementations must be safe for
@@ -294,6 +298,7 @@ func (e *Engine) runClosed(ctx context.Context, sc Scenario) (*Report, error) {
 					RunID:      resp.RunID,
 					LatencyUS:  resp.Latency.Microseconds(),
 					Err:        resp.Err,
+					Retried429: resp.Retried429,
 				})
 				if sc.ThinkMS > 0 {
 					d := time.Duration(rng.ExpFloat64() * float64(sc.Think()))
@@ -456,6 +461,7 @@ func (e *Engine) run(ctx context.Context, reqs []Request, raw [][]byte, replayed
 				RunID:      resp.RunID,
 				LatencyUS:  resp.Latency.Microseconds(),
 				Err:        resp.Err,
+				Retried429: resp.Retried429,
 			})
 		}()
 	}
@@ -487,25 +493,82 @@ func (e *Engine) run(ctx context.Context, reqs []Request, raw [][]byte, replayed
 // blocking POST /v1/runs?wait=true carrying the tenant's SLO class.
 type HTTPClient struct {
 	C *serve.Client
-	// Timeout bounds one request (0 = no per-request deadline).
+	// Timeout bounds one request (0 = no per-request deadline). The
+	// deadline also rides the X-Piuma-Deadline-Ms header end to end, so
+	// the serving tier stops burning simulation time the moment the
+	// generator gives up.
 	Timeout time.Duration
+	// Retry429 is how many times a 429 (admission control, queue full)
+	// is retried after honoring the response's Retry-After hint — the
+	// generator treating backpressure as a schedule, not a failure
+	// (0 = default 2; negative disables).
+	Retry429 int
 }
 
-// Do submits the request and classifies the outcome.
+func (h *HTTPClient) retry429() int {
+	switch {
+	case h.Retry429 < 0:
+		return 0
+	case h.Retry429 == 0:
+		return 2
+	default:
+		return h.Retry429
+	}
+}
+
+// Do submits the request and classifies the outcome, absorbing up to
+// retry429 rounds of 429 backpressure along the way.
 func (h *HTTPClient) Do(ctx context.Context, req Request) Response {
 	if h.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, h.Timeout)
 		defer cancel()
 	}
-	res, status, err := h.C.SubmitAndWait(ctx, req.Experiment, req.Options, req.Class)
-	if err != nil {
-		return Response{Err: err.Error()}
+	var retried int64
+	for attempt := 0; ; attempt++ {
+		res, status, retryAfter, err := h.C.SubmitAndWaitInfo(ctx, req.Experiment, req.Options, req.Class)
+		if err != nil {
+			return Response{Err: err.Error(), Retried429: retried}
+		}
+		if status == http.StatusTooManyRequests && attempt < h.retry429() {
+			// Honor the server's own pacing hint, plus deterministic
+			// per-(seq,attempt) jitter so a herd of rejected requests
+			// does not come back in lockstep.
+			d := retryAfter
+			if d <= 0 {
+				d = 100 * time.Millisecond
+			}
+			d += jitter429(req.Seq, attempt)
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return Response{HTTPStatus: status, Retried429: retried}
+			case <-t.C:
+			}
+			retried++
+			continue
+		}
+		return Response{
+			HTTPStatus: status,
+			RunStatus:  string(res.Status),
+			RunID:      res.ID,
+			Err:        res.Error,
+			Retried429: retried,
+		}
 	}
-	return Response{
-		HTTPStatus: status,
-		RunStatus:  string(res.Status),
-		RunID:      res.ID,
-		Err:        res.Error,
+}
+
+// jitter429 derives the 429-retry jitter in [0, 50ms) from the request
+// sequence and attempt via FNV-1a, so retry timing is a pure function
+// of the schedule rather than of shared rng state.
+func jitter429(seq int64, attempt int) time.Duration {
+	h := uint64(1469598103934665603)
+	for _, v := range []uint64{uint64(seq), uint64(attempt)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
 	}
+	return time.Duration(h % uint64(50*time.Millisecond))
 }

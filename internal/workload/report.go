@@ -51,6 +51,10 @@ type ClassReport struct {
 	Timeouts  int64  `json:"timeouts"`
 	// Backpressure counts 429/503 responses and engine-side sheds.
 	Backpressure int64 `json:"backpressure"`
+	// RetriedAfter429 counts 429 rounds requests in this class absorbed
+	// by honoring Retry-After before settling (a request retried twice
+	// contributes two).
+	RetriedAfter429 int64 `json:"retried_after_429,omitempty"`
 	// Unsettled counts requests with no recorded response (run aborted).
 	Unsettled int64 `json:"unsettled,omitempty"`
 	P50US     int64 `json:"p50_us"`
@@ -153,6 +157,7 @@ func BuildReport(sc Scenario, reqs []TraceRequest, resps []TraceResponse, elapse
 			rep.Unsettled++
 			continue
 		}
+		ca.RetriedAfter429 += resp.Retried429
 		switch classify(resp) {
 		case outcomeOK:
 			ca.Completed++
@@ -294,12 +299,13 @@ func (r *Report) Render() string {
 	}
 	fmt.Fprintf(&b, "\njain fairness index: %.4f over %d tenants\n", r.Fairness, len(r.Tenants))
 
-	ct := textplot.Table{Headers: []string{"class", "reqs", "ok", "err", "t/o", "bp", "p50", "p95", "p99", "slo%"}}
+	ct := textplot.Table{Headers: []string{"class", "reqs", "ok", "err", "t/o", "bp", "r429", "p50", "p95", "p99", "slo%"}}
 	for _, c := range r.Classes {
 		ct.AddRow(c.Class,
 			strconv.FormatInt(c.Requests, 10), strconv.FormatInt(c.Completed, 10),
 			strconv.FormatInt(c.Errors, 10), strconv.FormatInt(c.Timeouts, 10),
 			strconv.FormatInt(c.Backpressure, 10),
+			strconv.FormatInt(c.RetriedAfter429, 10),
 			fmtUS(c.P50US), fmtUS(c.P95US), fmtUS(c.P99US),
 			strconv.FormatFloat(c.SLOAttained*100, 'f', 1, 64))
 	}

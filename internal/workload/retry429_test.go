@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"piumagcn/internal/bench"
+	"piumagcn/internal/gate"
+	"piumagcn/internal/serve"
+)
+
+// TestRetryAfter429ThroughGateAdmission drives the HTTPClient against a
+// real gate whose admission bucket holds exactly one token per second:
+// the second submission is rejected with 429 + Retry-After, the client
+// honors the hint (plus seeded jitter), eventually lands the run, and
+// the retry rounds surface in the per-class report column.
+func TestRetryAfter429ThroughGateAdmission(t *testing.T) {
+	srv := serve.New(serve.Config{
+		Experiments: []bench.Experiment{{
+			ID:    "table1",
+			Title: "instant",
+			Run: func(ctx context.Context, o bench.Options) (*bench.Report, error) {
+				r := &bench.Report{ID: "table1", Title: "instant"}
+				r.Add("section", "body")
+				return r, nil
+			},
+		}},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	g, err := gate.New(gate.Config{
+		Backends:      []string{ts.URL},
+		ProbeInterval: -1,
+		Rate:          1,
+		Burst:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Shutdown)
+	gts := httptest.NewServer(g.Handler())
+	t.Cleanup(gts.Close)
+
+	hc := &HTTPClient{C: serve.NewClient(gts.URL, nil), Timeout: 20 * time.Second, Retry429: 3}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	opts := func(seed int64) bench.Options {
+		o := bench.QuickOptions()
+		o.Seed = seed
+		return o
+	}
+	first := hc.Do(ctx, Request{Seq: 0, Tenant: "t", Class: "gold", Experiment: "table1", Options: opts(1)})
+	if first.HTTPStatus != http.StatusOK {
+		t.Fatalf("first request: %+v", first)
+	}
+	// The bucket is empty now; this one must absorb at least one 429
+	// round before the refill lets it through.
+	second := hc.Do(ctx, Request{Seq: 1, Tenant: "t", Class: "gold", Experiment: "table1", Options: opts(2)})
+	if second.HTTPStatus != http.StatusOK {
+		t.Fatalf("second request should retry through the 429: %+v", second)
+	}
+	if second.Retried429 < 1 {
+		t.Fatalf("second request retried %d times, want >= 1", second.Retried429)
+	}
+
+	// The retry rounds flow into the per-class report column.
+	reqs := []TraceRequest{
+		{Seq: 0, Tenant: "t", Class: "gold", Experiment: "table1"},
+		{Seq: 1, Tenant: "t", Class: "gold", Experiment: "table1"},
+	}
+	resps := []TraceResponse{
+		{Seq: 0, HTTPStatus: first.HTTPStatus, RunStatus: first.RunStatus, RunID: first.RunID, LatencyUS: 1000},
+		{Seq: 1, HTTPStatus: second.HTTPStatus, RunStatus: second.RunStatus, RunID: second.RunID, LatencyUS: 1000, Retried429: second.Retried429},
+	}
+	sc := Scenario{DurationMS: 2000, Rate: 1, Tenants: []Tenant{{Name: "t", Class: "gold", Experiment: "table1"}}}
+	rep := BuildReport(sc, reqs, resps, 2*time.Second)
+	var gold *ClassReport
+	for i := range rep.Classes {
+		if rep.Classes[i].Class == "gold" {
+			gold = &rep.Classes[i]
+		}
+	}
+	if gold == nil {
+		t.Fatalf("no gold class row in report: %+v", rep.Classes)
+	}
+	if gold.RetriedAfter429 != second.Retried429 {
+		t.Fatalf("class retried_after_429 = %d, want %d", gold.RetriedAfter429, second.Retried429)
+	}
+	if out := rep.Render(); !strings.Contains(out, "r429") {
+		t.Fatalf("rendered report missing the r429 column:\n%s", out)
+	}
+}
+
+// TestRetry429Disabled: a negative Retry429 surfaces the 429 verbatim.
+func TestRetry429Disabled(t *testing.T) {
+	var calls int
+	tsrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	t.Cleanup(tsrv.Close)
+	hc := &HTTPClient{C: serve.NewClient(tsrv.URL, nil), Timeout: 5 * time.Second, Retry429: -1}
+	resp := hc.Do(context.Background(), Request{Seq: 0, Experiment: "table1", Options: bench.QuickOptions()})
+	if resp.HTTPStatus != http.StatusTooManyRequests || resp.Retried429 != 0 {
+		t.Fatalf("disabled retry: %+v", resp)
+	}
+	if calls != 1 {
+		t.Fatalf("server saw %d calls, want 1", calls)
+	}
+}

@@ -58,6 +58,9 @@ type TraceResponse struct {
 	// LatencyUS is the request's observed latency in microseconds.
 	LatencyUS int64  `json:"latency_us"`
 	Err       string `json:"err,omitempty"`
+	// Retried429 counts 429 rounds absorbed before this outcome
+	// (omitempty keeps pre-backpressure traces byte-identical).
+	Retried429 int64 `json:"retried_429,omitempty"`
 }
 
 // Latency is the observed request latency.
