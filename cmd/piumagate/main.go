@@ -48,6 +48,7 @@ import (
 	"piumagcn/internal/chaos"
 	"piumagcn/internal/gate"
 	"piumagcn/internal/serve"
+	"piumagcn/internal/store"
 )
 
 // quotaFlag accumulates repeated -quota class=rate flags.
@@ -91,6 +92,14 @@ func main() {
 		brkCooldown   = flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before the half-open probe")
 		hedgeDelay    = flag.Duration("hedge-delay", 0, "hedge idempotent run-status GETs to a second replica after this delay (0 disables)")
 		chaosSpec     = flag.String("chaos", "", "client-side chaos schedule applied to the fan-out transport (chaos.Spec, e.g. 'seed=7;fault=reset,target=b1,at=2s,for=3s')")
+		dataDir       = flag.String("data-dir", "", "journal admitted runs to <dir>/intake.wal and recover ownership on restart (empty = stateless gate)")
+		fsync         = flag.String("fsync", "always", "intake-ledger fsync policy: always, interval, or never")
+		gossipEvery   = flag.Duration("gossip-interval", 0, "SWIM gossip protocol period (0 disables gossip)")
+		gossipTimeout = flag.Duration("gossip-timeout", time.Second, "per-gossip-exchange deadline")
+		suspectAfter  = flag.Int("suspect-after", 2, "consecutive failed gossip probe rounds before a replica is suspect")
+		deadAfter     = flag.Duration("dead-after", 10*time.Second, "unrefuted suspicion age before a replica is confirmed dead")
+		reconcile     = flag.Duration("reconcile-interval", 5*time.Second, "anti-entropy sweep period over the intake ledger (requires -data-dir)")
+		stealMargin   = flag.Int("steal-margin", 0, "queue-depth imbalance that moves a queued run to the least-loaded replica (0 disables work stealing)")
 	)
 	flag.Var(quotas, "quota", "per-class admission quota as class=rate (repeatable; classes: gold, silver, bronze, batch)")
 	flag.Parse()
@@ -115,23 +124,46 @@ func main() {
 		log.Printf("piumagate: chaos schedule active: %s", spec.String())
 	}
 
+	var ledgerSync store.SyncPolicy
+	if *dataDir != "" {
+		var err error
+		ledgerSync, err = store.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("piumagate: %v", err)
+		}
+	} else if *fsync != "always" {
+		log.Fatalf("piumagate: -fsync has no effect without -data-dir")
+	}
+
 	g, err := gate.New(gate.Config{
-		Backends:         urls,
-		Policy:           *policy,
-		Seed:             *seed,
-		ProbeInterval:    *probeInterval,
-		ProbeTimeout:     *probeTimeout,
-		MarkDownAfter:    *markDown,
-		BreakerThreshold: *brkThreshold,
-		BreakerCooldown:  *brkCooldown,
-		HedgeDelay:       *hedgeDelay,
-		Rate:             *rate,
-		Burst:            *burst,
-		ClassQuotas:      quotas,
-		HTTPClient:       hc,
+		Backends:          urls,
+		Policy:            *policy,
+		Seed:              *seed,
+		ProbeInterval:     *probeInterval,
+		ProbeTimeout:      *probeTimeout,
+		MarkDownAfter:     *markDown,
+		BreakerThreshold:  *brkThreshold,
+		BreakerCooldown:   *brkCooldown,
+		HedgeDelay:        *hedgeDelay,
+		Rate:              *rate,
+		Burst:             *burst,
+		ClassQuotas:       quotas,
+		HTTPClient:        hc,
+		DataDir:           *dataDir,
+		LedgerSync:        ledgerSync,
+		GossipInterval:    *gossipEvery,
+		GossipTimeout:     *gossipTimeout,
+		SuspectAfter:      *suspectAfter,
+		DeadAfter:         *deadAfter,
+		ReconcileInterval: *reconcile,
+		StealMargin:       *stealMargin,
 	})
 	if err != nil {
 		log.Fatalf("piumagate: %v", err)
+	}
+	if *dataDir != "" {
+		log.Printf("piumagate: intake ledger at %s (%d open run(s) recovered)",
+			*dataDir, g.Ledger().NonTerminalLen())
 	}
 
 	httpSrv := &http.Server{

@@ -133,6 +133,22 @@ func (a *admission) admit(class string, now time.Time) (ok bool, retryAfter time
 	return true, 0, ""
 }
 
+// replay re-derives bucket fill from a journaled admission: the class
+// and global buckets are charged at the recorded instant exactly as
+// admit would have charged them, but the verdict is ignored — the
+// previous process already admitted the run. Instants arrive in append
+// order, so the virtual-time arithmetic matches the original sequence.
+func (a *admission) replay(class string, at time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if b := a.perClass[class]; b != nil {
+		b.take(at)
+	}
+	if a.global != nil {
+		a.global.take(at)
+	}
+}
+
 // retryAfterSeconds renders a Retry-After header value: whole seconds,
 // rounded up, at least 1.
 func retryAfterSeconds(d time.Duration) string {

@@ -40,7 +40,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"piumagcn/internal/gossip"
 	"piumagcn/internal/serve"
+	"piumagcn/internal/store"
 )
 
 // Clock abstracts wall time so admission control, probe scheduling and
@@ -139,6 +141,49 @@ type Config struct {
 	// transition synchronously in occurrence order — the breaker half
 	// of the determinism contract.
 	OnBreaker func(BreakerTransition)
+
+	// DataDir, when set, makes run acceptance durable: every admitted
+	// run is journaled to <DataDir>/intake.wal before any backend sees
+	// it, replayed on gate boot (restoring both run ownership and the
+	// admission buckets' fill levels), and compacted away once a
+	// terminal status is observed. Empty keeps the gate stateless.
+	DataDir string
+	// LedgerSync is the intake ledger's fsync policy (default
+	// store.SyncAlways: an admitted run acknowledged is a run on disk).
+	LedgerSync store.SyncPolicy
+	// GossipInterval enables SWIM-style replica gossip: positive runs
+	// the background protocol loop at this period, negative builds the
+	// gossip node but leaves ticking to explicit GossipTick calls
+	// (deterministic tests), zero disables gossip entirely. With gossip
+	// on, the suspicion thresholds below replace MarkDownAfter as the
+	// demotion hysteresis and each replica's self-reported queue depth
+	// feeds work stealing.
+	GossipInterval time.Duration
+	// GossipTimeout bounds one gossip exchange (default 1s).
+	GossipTimeout time.Duration
+	// SuspectAfter is how many consecutive failed gossip probe rounds
+	// make a replica suspect (default 2).
+	SuspectAfter int
+	// DeadAfter is how long a suspicion may stand unrefuted before the
+	// replica is confirmed dead (default 10s).
+	DeadAfter time.Duration
+	// ReconcileInterval drives the anti-entropy reconciler when a
+	// ledger exists: positive runs the background sweep at this period,
+	// negative leaves sweeping to explicit ReconcileOnce calls, zero
+	// defaults to 5s. Ignored without DataDir.
+	ReconcileInterval time.Duration
+	// StealMargin enables queued-run work stealing during
+	// reconciliation: a queued run moves to the least-loaded healthy
+	// replica when its owner's gossiped queue depth exceeds that
+	// replica's by at least this margin (0 disables stealing).
+	StealMargin int
+	// OnReconcile, when non-nil, observes every reconciliation decision
+	// synchronously in decision order — the reconciler's determinism
+	// contract.
+	OnReconcile func(ReconcileDecision)
+	// OnMembership, when non-nil, observes every gossip membership
+	// transition synchronously in emission order.
+	OnMembership func(gossip.Event)
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +217,18 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = wallClock{}
 	}
+	if c.GossipTimeout <= 0 {
+		c.GossipTimeout = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 10 * time.Second
+	}
+	if c.ReconcileInterval == 0 {
+		c.ReconcileInterval = 5 * time.Second
+	}
 	return c
 }
 
@@ -186,8 +243,14 @@ type Gate struct {
 	clock   Clock
 	hc      *http.Client
 
+	// ledger is the durable intake book (nil without DataDir); node is
+	// the gate's gossip participant (nil without GossipInterval).
+	ledger *store.IntakeLedger
+	node   *gossip.Node
+
 	seq   atomic.Uint64
 	btSeq atomic.Uint64 // breaker-transition sequence
+	rcSeq atomic.Uint64 // reconcile-decision sequence
 
 	stop   context.CancelFunc
 	wg     sync.WaitGroup
@@ -228,10 +291,43 @@ func New(cfg Config) (*Gate, error) {
 		hc:      cfg.HTTPClient,
 		stop:    stop,
 	}
+	if cfg.DataDir != "" {
+		ledger, rec, err := store.OpenIntakeLedger(cfg.DataDir, cfg.LedgerSync)
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("gate: opening intake ledger: %w", err)
+		}
+		g.ledger = ledger
+		// Restart-amnesia fix: re-derive the admission buckets' fill
+		// levels from the journaled admission instants, so a gate that
+		// crashed right after admitting a burst does not admit the same
+		// burst again on boot.
+		for _, adm := range rec.Admissions {
+			g.adm.replay(adm.Class, time.UnixMilli(adm.AtUnixMs))
+		}
+		m.setLedgerOpen(float64(ledger.NonTerminalLen()))
+	}
+	if cfg.GossipInterval != 0 {
+		node, err := g.newGossipNode()
+		if err != nil {
+			stop()
+			g.closeLedger()
+			return nil, err
+		}
+		g.node = node
+	}
 	if cfg.ProbeInterval > 0 {
 		g.probed.Store(true)
 		g.wg.Add(1)
 		go g.probeLoop(ctx)
+	}
+	if cfg.GossipInterval > 0 {
+		g.wg.Add(1)
+		go g.gossipLoop(ctx)
+	}
+	if g.ledger != nil && cfg.ReconcileInterval > 0 {
+		g.wg.Add(1)
+		go g.reconcileLoop(ctx)
 	}
 	return g, nil
 }
@@ -276,9 +372,76 @@ func (g *Gate) probeLoop(ctx context.Context) {
 	}
 }
 
-// Shutdown stops the probe loop. In-flight proxied requests are not
-// interrupted — the HTTP server draining them is the caller's job.
+// gossipLoop drives gossip protocol periods until Shutdown.
+func (g *Gate) gossipLoop(ctx context.Context) {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			g.GossipTick(ctx)
+		}
+	}
+}
+
+// reconcileLoop drives anti-entropy sweeps until Shutdown.
+func (g *Gate) reconcileLoop(ctx context.Context) {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.ReconcileInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			g.ReconcileOnce(ctx)
+		}
+	}
+}
+
+// Ledger exposes the intake ledger (nil without DataDir) for
+// introspection and tests.
+func (g *Gate) Ledger() *store.IntakeLedger { return g.ledger }
+
+// ledgerRouted journals a run's (re-)routing to a backend. Append
+// failures are counted, not fatal: the run stays replayable from its
+// admitted record, it merely loses the ownership hint.
+func (g *Gate) ledgerRouted(runID, backend string) {
+	if g.ledger == nil {
+		return
+	}
+	if err := g.ledger.Routed(runID, backend); err != nil {
+		g.metrics.incLedgerError()
+	}
+}
+
+// ledgerRejected settles a run no backend accepted as terminal, so the
+// reconciler does not resurrect a submission the client saw fail.
+func (g *Gate) ledgerRejected(runID string) {
+	if g.ledger == nil {
+		return
+	}
+	if _, err := g.ledger.Terminal(runID, "rejected"); err != nil {
+		g.metrics.incLedgerError()
+	}
+}
+
+func (g *Gate) closeLedger() {
+	if g.ledger == nil {
+		return
+	}
+	//lint:ignore erriswritten a close failure at shutdown has no caller to inform; the journal was synced on every append
+	g.ledger.Close()
+}
+
+// Shutdown stops the probe, gossip and reconcile loops and closes the
+// intake ledger. In-flight proxied requests are not interrupted — the
+// HTTP server draining them is the caller's job.
 func (g *Gate) Shutdown() {
 	g.stop()
 	g.wg.Wait()
+	g.closeLedger()
 }

@@ -1,0 +1,85 @@
+package gate
+
+import (
+	"context"
+	"fmt"
+
+	"piumagcn/internal/gossip"
+)
+
+// The gate participates in the replica gossip as a non-serving member
+// named "gate": it probes replicas through the same SWIM protocol the
+// replicas run among themselves, and consumes the converged view —
+// alive/suspect/dead states plus self-reported queue depths — in place
+// of (or alongside) its central prober. A replica the gossip layer
+// confirms dead is demoted in the registry exactly as a failed probe
+// would demote it, but the decision is backed by the whole cluster's
+// observations rather than one prober's vantage point.
+
+// gateNodeName is the gate's member name in the gossip cluster.
+const gateNodeName = "gate"
+
+// newGossipNode builds the gate's gossip participant over the replica
+// set. The transport shares the fan-out HTTP client, so a chaos-wrapped
+// client drives gossip through the same scheduled fault timeline as the
+// data path.
+func (g *Gate) newGossipNode() (*gossip.Node, error) {
+	replicas := g.reg.All()
+	peers := make([]gossip.Peer, 0, len(replicas))
+	for _, r := range replicas {
+		peers = append(peers, gossip.Peer{Name: r.Name, Addr: r.URL})
+	}
+	node, err := gossip.NewNode(gossip.Config{
+		Name:         gateNodeName,
+		Peers:        peers,
+		Transport:    &gossip.HTTPTransport{Client: g.hc},
+		Clock:        g.clock,
+		Seed:         g.cfg.Seed,
+		Timeout:      g.cfg.GossipTimeout,
+		SuspectAfter: g.cfg.SuspectAfter,
+		DeadAfter:    g.cfg.DeadAfter,
+		OnEvent: func(e gossip.Event) {
+			if rep := g.reg.find(e.Node); rep != nil {
+				g.metrics.observeGossipEvent(rep.Name, e.State)
+			}
+			if g.cfg.OnMembership != nil {
+				g.cfg.OnMembership(e)
+			}
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gate: building gossip node: %w", err)
+	}
+	return node, nil
+}
+
+// Gossip exposes the gate's gossip node (nil when gossip is disabled)
+// for introspection and tests.
+func (g *Gate) Gossip() *gossip.Node { return g.node }
+
+// GossipTick runs one gossip protocol period and folds the resulting
+// view into the registry. The background loop calls this on its
+// ticker; deterministic tests call it directly.
+func (g *Gate) GossipTick(ctx context.Context) {
+	if g.node == nil {
+		return
+	}
+	g.node.Tick(ctx)
+	g.applyGossipView()
+}
+
+// applyGossipView maps the gossiped membership onto registry health
+// and per-replica queue depths: alive promotes, suspect and dead
+// demote (suspicion already carries SuspectAfter rounds of hysteresis,
+// the gossip analogue of MarkDownAfter).
+func (g *Gate) applyGossipView() {
+	for _, u := range g.node.View() {
+		rep := g.reg.find(u.Node)
+		if rep == nil {
+			continue // the gate's own entry, or an unknown member
+		}
+		g.reg.SetHealth(rep, u.State == gossip.StateAlive)
+		rep.setGossipQueue(int(u.QueueDepth))
+		g.metrics.setMemberState(rep.Name, float64(u.State))
+	}
+}

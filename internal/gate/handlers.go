@@ -112,6 +112,35 @@ func (g *Gate) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	rc := RouteContext{Seq: g.seq.Add(1) - 1, RunID: runID, Class: class}
 	deadline := g.parseDeadline(r, start)
 
+	// Durable intake: journal the admitted run before any backend sees
+	// it. acceptedBackend settles the ledger outcome on every exit path —
+	// a backend acknowledged the run (routed) or nobody did (rejected
+	// terminal, so the run does not linger as a phantom orphan the
+	// reconciler would resurrect after the client was told "no").
+	acceptedBackend := ""
+	if g.ledger != nil {
+		opts, merr := json.Marshal(req.Options)
+		if merr == nil {
+			merr = g.ledger.Admitted(runID, req.Experiment, opts, class, g.clock.Now().UnixMilli())
+		}
+		if merr != nil {
+			// The durability promise cannot be met; refusing is the only
+			// honest answer (an unjournaled acceptance would be exactly
+			// the amnesia the ledger exists to prevent).
+			g.metrics.incLedgerError()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "intake ledger unavailable: "+merr.Error())
+			return
+		}
+		defer func() {
+			if acceptedBackend != "" {
+				g.ledgerRouted(runID, acceptedBackend)
+			} else {
+				g.ledgerRejected(runID)
+			}
+		}()
+	}
+
 	candidates := g.reg.Healthy()
 	if len(candidates) == 0 {
 		g.metrics.incNoBackend()
@@ -216,6 +245,11 @@ func (g *Gate) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		from, to = rep.breaker.success()
 		g.breakerMoved(rep, from, to)
+		if resp.StatusCode < 300 {
+			// The backend owns the run now; a 4xx means it refused the
+			// submission, which settles the ledger as rejected.
+			acceptedBackend = rep.Name
+		}
 		discardIf(last5xx)
 		g.relay(w, resp, rep)
 		rep.addInFlight(-1)
@@ -535,6 +569,9 @@ func (g *Gate) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gate) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g.scrapeBackends(r.Context())
+	if g.ledger != nil {
+		g.metrics.setLedgerOpen(float64(g.ledger.NonTerminalLen()))
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	g.metrics.render(w, g.reg)
 }

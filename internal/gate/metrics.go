@@ -42,6 +42,18 @@ type metrics struct {
 	hedgeWins        *obs.Counter    // hedged reads won by the second request
 	deadlineExceeded *obs.Counter    // requests refused/stopped with the budget spent
 
+	// Durable intake, gossip membership and anti-entropy
+	// reconciliation (the cluster-durability machinery).
+	ledgerOpen     *obs.Gauge      // non-terminal runs in the intake ledger
+	ledgerErrors   *obs.Counter    // intake-ledger append failures
+	gossipEvents   *obs.CounterVec // membership transitions, by backend and state
+	memberState    *obs.GaugeVec   // gossiped state (0 alive, 1 suspect, 2 dead), by backend
+	reconSweeps    *obs.Counter    // anti-entropy sweeps run
+	reconFetchErrs *obs.Counter    // replica run listings that failed mid-sweep
+	reconDecisions *obs.CounterVec // reconcile decisions, by action
+	rehomed        *obs.CounterVec // runs re-homed or stolen, by destination backend
+	rehomeFails    *obs.Counter    // re-home/steal resubmissions that failed
+
 	// Scraped per-backend aggregates (pull-through from each replica's
 	// /metrics at exposition time; see scrape.go).
 	backendUp        *obs.GaugeVec
@@ -93,6 +105,25 @@ func newMetrics() *metrics {
 			"Hedged reads won by the second (hedge) request."),
 		deadlineExceeded: reg.Counter("piumagate_deadline_exhausted_total",
 			"Requests refused or abandoned because the propagated deadline budget was spent."),
+
+		ledgerOpen: reg.Gauge("piumagate_intake_open_runs",
+			"Non-terminal runs in the durable intake ledger (accepted but not yet observed terminal)."),
+		ledgerErrors: reg.Counter("piumagate_intake_ledger_errors_total",
+			"Intake-ledger append failures."),
+		gossipEvents: reg.CounterVec("piumagate_gossip_events_total",
+			"Gossip membership transitions, by backend and new state.", "backend", "state"),
+		memberState: reg.GaugeVec("piumagate_gossip_member_state",
+			"Gossiped member state per backend (0 alive, 1 suspect, 2 dead).", "backend"),
+		reconSweeps: reg.Counter("piumagate_reconcile_sweeps_total",
+			"Anti-entropy reconciliation sweeps run."),
+		reconFetchErrs: reg.Counter("piumagate_reconcile_fetch_errors_total",
+			"Replica run listings that failed during a reconciliation sweep."),
+		reconDecisions: reg.CounterVec("piumagate_reconcile_decisions_total",
+			"Reconciliation decisions, by action (keep, terminal, rehome, steal).", "action"),
+		rehomed: reg.CounterVec("piumagate_rehomed_runs_total",
+			"Orphaned or stolen runs resubmitted to a replica, by destination backend.", "backend"),
+		rehomeFails: reg.Counter("piumagate_rehome_failures_total",
+			"Re-home or steal resubmissions that failed (retried next sweep)."),
 
 		backendUp: reg.GaugeVec("piumagate_backend_up",
 			"Whether the last /metrics scrape of the backend succeeded.", "backend"),
@@ -211,6 +242,40 @@ func (m *metrics) setBackendInFlight(backend string, v float64) {
 }
 func (m *metrics) incProbeFailure(backend string) { m.probeFails.With(backend).Inc() }
 func (m *metrics) incRecovered(backend string)    { m.recoveries.With(backend).Inc() }
+
+func (m *metrics) setLedgerOpen(v float64) { m.ledgerOpen.Set(v) }
+func (m *metrics) incLedgerError()         { m.ledgerErrors.Inc() }
+
+// observeGossipEvent counts one membership transition. The state label
+// is normalized onto the gossip state vocabulary through constant
+// switch arms; backend comes from the registry's fixed name set.
+func (m *metrics) observeGossipEvent(backend, state string) {
+	switch state {
+	case "alive":
+		m.gossipEventInc(backend, "alive")
+	case "suspect":
+		m.gossipEventInc(backend, "suspect")
+	case "dead":
+		m.gossipEventInc(backend, "dead")
+	}
+}
+
+func (m *metrics) gossipEventInc(backend, state string) { m.gossipEvents.With(backend, state).Inc() }
+
+func (m *metrics) setMemberState(backend string, v float64) { m.memberState.With(backend).Set(v) }
+
+func (m *metrics) incReconcileSweep()      { m.reconSweeps.Inc() }
+func (m *metrics) incReconcileFetchError() { m.reconFetchErrs.Inc() }
+func (m *metrics) incRehomeFailure()       { m.rehomeFails.Inc() }
+
+// observeReconcile counts one reconciliation decision. The action
+// label is gate.ReconcileDecision.Action — a closed four-value
+// vocabulary sanctioned in the metriclabels analyzer.
+func (m *metrics) observeReconcile(d ReconcileDecision) { m.reconDecisions.With(d.Action).Inc() }
+
+// incRehomed counts a successful re-home/steal resubmission by its
+// destination backend (the registry's fixed name set).
+func (m *metrics) incRehomed(backend string) { m.rehomed.With(backend).Inc() }
 
 func (m *metrics) setBackendUp(backend string, v float64)    { m.backendUp.With(backend).Set(v) }
 func (m *metrics) setBackendQueue(backend string, v float64) { m.backendQueue.With(backend).Set(v) }

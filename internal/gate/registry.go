@@ -32,6 +32,7 @@ type Replica struct {
 	inFlight     int
 	fails        int       // consecutive failed probes / passive mark-downs
 	backoffUntil time.Time // next probe not before this instant
+	gossipQueue  int       // gossiped queue depth; -1 until first gossip
 }
 
 // Healthy reports the replica's current health.
@@ -62,6 +63,20 @@ func (r *Replica) Fails() int {
 func (r *Replica) addInFlight(d int) {
 	r.mu.Lock()
 	r.inFlight += d
+	r.mu.Unlock()
+}
+
+// GossipQueueDepth is the replica's last gossiped run-queue depth, -1
+// while no gossip update has arrived — the work-stealing signal.
+func (r *Replica) GossipQueueDepth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gossipQueue
+}
+
+func (r *Replica) setGossipQueue(d int) {
+	r.mu.Lock()
+	r.gossipQueue = d
 	r.mu.Unlock()
 }
 
@@ -114,12 +129,13 @@ func NewRegistry(cfg Config, m *metrics) (*Registry, error) {
 		// (MarkDownAfter is the sanctioned damping).
 		client.SetRetries(0, 0, cfg.Seed)
 		rep := &Replica{
-			Name:    "b" + strconv.Itoa(i),
-			URL:     u,
-			idx:     i,
-			client:  client,
-			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Seed+int64(i)+1),
-			healthy: true,
+			Name:        "b" + strconv.Itoa(i),
+			URL:         u,
+			idx:         i,
+			client:      client,
+			breaker:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Seed+int64(i)+1),
+			healthy:     true,
+			gossipQueue: -1,
 		}
 		reg.replicas = append(reg.replicas, rep)
 		m.setBackendHealthy(rep.Name, 1)
@@ -130,6 +146,42 @@ func NewRegistry(cfg Config, m *metrics) (*Registry, error) {
 
 // All returns every replica in registration order.
 func (reg *Registry) All() []*Replica { return reg.replicas }
+
+// find resolves a replica by name (nil when unknown). The replica set
+// is small and fixed, so a linear scan beats a map's bookkeeping.
+func (reg *Registry) find(name string) *Replica {
+	for _, r := range reg.replicas {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// SetHealth applies an externally observed health verdict (the gossip
+// view) to a replica, keeping the health gauge and recovery counter
+// consistent with the prober's own transitions. Promotion also clears
+// the probe backoff so the central prober (when running) re-verifies a
+// recovered replica promptly instead of waiting out a stale backoff.
+func (reg *Registry) SetHealth(r *Replica, healthy bool) {
+	r.mu.Lock()
+	was := r.healthy
+	r.healthy = healthy
+	if healthy {
+		r.fails = 0
+		r.backoffUntil = time.Time{}
+	}
+	r.mu.Unlock()
+	if was == healthy {
+		return
+	}
+	if healthy {
+		reg.metrics.setBackendHealthy(r.Name, 1)
+		reg.metrics.incRecovered(r.Name)
+	} else {
+		reg.metrics.setBackendHealthy(r.Name, 0)
+	}
+}
 
 // Healthy returns the healthy replicas in registration order.
 func (reg *Registry) Healthy() []*Replica {

@@ -201,6 +201,110 @@ func TestServerErrorFailover(t *testing.T) {
 	}
 }
 
+// TestBreakerUnderProbeFlapHysteresis crosses the two damping
+// mechanisms: a replica that flaps at the probe level — every other
+// healthz fails, always under the MarkDownAfter threshold — while also
+// burning submissions with 5xx. The probe flapping must never evict it
+// from the registry (hysteresis holds), the 5xx burst must still trip
+// its breaker (the mechanisms are independent), and once the backend
+// heals the breaker closes cleanly with the replica's registry
+// membership never having changed.
+func TestBreakerUnderProbeFlapHysteresis(t *testing.T) {
+	var healthzFlap atomic.Bool // fail every other probe
+	fail := &atomic.Bool{}
+	fail.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthzFlap.Load() {
+			healthzFlap.Store(false)
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		healthzFlap.Store(true)
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":"simulated meltdown"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"r-fake","experiment":"table1","status":"done"}`)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "piumaserve_queue_depth 0\n")
+	})
+	flappy := httptest.NewServer(mux)
+	t.Cleanup(flappy.Close)
+	steady := fakeBackend(t)
+
+	clock := newFixedClock()
+	var moves []BreakerTransition
+	g := mustGate(t, Config{
+		Backends:         []string{flappy.URL, steady.URL},
+		Policy:           PolicyRoundRobin,
+		Seed:             1,
+		ProbeInterval:    -1,
+		MarkDownAfter:    2,
+		BreakerThreshold: 3,
+		BreakerCooldown:  4 * time.Second,
+		Clock:            clock,
+		OnBreaker:        func(bt BreakerTransition) { moves = append(moves, bt) },
+	})
+	h := g.Handler()
+	ctx := context.Background()
+	rep := g.Registry().All()[0]
+
+	healthzFlap.Store(true)
+	// Interleave flapping probes with a 5xx burst: every even-seq
+	// submission round-robins to b0, eats its 5xx and fails over to b1,
+	// charging b0's breaker; every probe round alternates fail/pass and
+	// so never reaches two consecutive failures.
+	for i := 0; i < 6; i++ {
+		g.ProbeAll(ctx)
+		clock.Advance(3 * time.Second) // past any single-failure backoff
+		rec := postRun(t, h, submitBody(i), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("submit %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		if !rep.Healthy() {
+			t.Fatalf("round %d: probe flapping under the threshold evicted b0 from the registry", i)
+		}
+	}
+	if st := rep.BreakerState(); st != BreakerOpen {
+		t.Fatalf("breaker = %q after the 5xx burst, want open", st)
+	}
+	if n := len(g.Registry().Healthy()); n != 2 {
+		t.Fatalf("healthy replicas = %d, want 2 (breaker verdicts must not touch registry membership)", n)
+	}
+
+	// The backend heals; past the cooldown the half-open probe closes
+	// the circuit, with b0 having been registry-healthy the whole time.
+	fail.Store(false)
+	clock.Advance(5 * time.Second)
+	for i := 0; i < 2; i++ { // seq parity: reach b0 again
+		if rec := postRun(t, h, submitBody(10+i), nil); rec.Code != http.StatusOK {
+			t.Fatalf("recovery submit %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	if st := rep.BreakerState(); st != BreakerClosed {
+		t.Fatalf("breaker = %q after recovery, want closed", st)
+	}
+	if !rep.Healthy() {
+		t.Fatal("b0 left the registry at some point during the episode")
+	}
+	wantTo := []string{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(moves) != len(wantTo) {
+		t.Fatalf("breaker transitions = %+v, want destinations %v", moves, wantTo)
+	}
+	for i, m := range moves {
+		if m.To != wantTo[i] {
+			t.Fatalf("transition %d = %+v, want to=%q", i, m, wantTo[i])
+		}
+	}
+}
+
 // TestMarkDownHysteresis: one failed health probe must not demote a
 // replica (MarkDownAfter=2) — so a probe lost to a chaos latency spike
 // neither flaps routing nor moves every consistent-hash key the

@@ -1,0 +1,67 @@
+package gate
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"piumagcn/internal/store"
+)
+
+// benchGate builds a gate over one instant stub backend, optionally
+// with the intake ledger journaling every admission (fsync left to the
+// page cache so the benchmark isolates the ledger's framing +
+// bookkeeping cost, not the disk).
+func benchGate(b *testing.B, ledger bool) http.Handler {
+	b.Helper()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"r-bench","experiment":"fig5","status":"queued"}`)
+	}))
+	b.Cleanup(backend.Close)
+	cfg := Config{Backends: []string{backend.URL}, ProbeInterval: -1}
+	if ledger {
+		cfg.DataDir = b.TempDir()
+		cfg.LedgerSync = store.SyncNever
+	}
+	g, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(g.Shutdown)
+	return g.Handler()
+}
+
+func benchSubmit(b *testing.B, h http.Handler) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"experiment":"fig5","options":{"quick":true,"seed":%d}}`, i)
+		req := httptest.NewRequest(http.MethodPost, "/v1/runs", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted {
+			b.Fatalf("submit status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkGateSubmit is the ledgerless hot path: admission, routing
+// and relay only.
+func BenchmarkGateSubmit(b *testing.B) {
+	h := benchGate(b, false)
+	b.ResetTimer()
+	benchSubmit(b, h)
+}
+
+// BenchmarkGateSubmitLedger adds the durable intake ledger: each
+// accepted run is journaled (admitted + routed) before the response
+// relays. The delta against BenchmarkGateSubmit is the ledger's hot-
+// path overhead.
+func BenchmarkGateSubmitLedger(b *testing.B) {
+	h := benchGate(b, true)
+	b.ResetTimer()
+	benchSubmit(b, h)
+}

@@ -1,0 +1,524 @@
+// Package gossip is a SWIM-style membership layer for the serving
+// cluster: each node periodically pings one peer (picked by a seeded
+// randomized round-robin), falls back to indirect ping-req probes
+// through other members when the direct probe fails, and piggybacks its
+// full membership view — member states, incarnation numbers and
+// self-reported queue depths — on every message. Failure detection is
+// therefore O(1) per node per protocol period regardless of cluster
+// size, and health information spreads epidemically instead of through
+// a central prober.
+//
+// States follow SWIM's alive → suspect → dead lifecycle: a member whose
+// probes fail is only *suspected* first, and can refute the suspicion
+// by incrementing its incarnation number (it learns of the suspicion
+// from the piggybacked updates that reach it). Only when the suspicion
+// survives the confirmation timeout is the member declared dead.
+// Conflicting claims are ordered by incarnation, then by state
+// precedence (dead > suspect > alive), so the view converges no matter
+// the delivery order.
+//
+// Everything is deterministic under an injected Clock and seed: tests
+// drive protocol periods with explicit Tick calls over an in-memory
+// transport, and two identically seeded clusters produce byte-identical
+// membership event logs. The wall-clock background loop (Run) exists
+// only for production processes.
+package gossip
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time, as everywhere else in this repo.
+type Clock interface {
+	Now() time.Time
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Peer seeds the static membership list: the cluster's node set is
+// fixed at boot (a replica set behind one gate), so there is no join
+// protocol — only health state moves.
+type Peer struct {
+	// Name is the node's cluster-unique name (replica names "b0",
+	// "b1", ... for piumaserve processes, "gate" for the front door).
+	Name string
+	// Addr is the node's base URL (the HTTP transport POSTs to
+	// Addr+"/v1/gossip").
+	Addr string
+}
+
+// Event records one membership state change, in detection order. The
+// event sequence is the package's determinism contract.
+type Event struct {
+	// Seq numbers events in emission order (node-wide).
+	Seq uint64 `json:"seq"`
+	// Node is the member whose state changed.
+	Node string `json:"node"`
+	// State is the new state ("alive", "suspect", "dead").
+	State string `json:"state"`
+	// Incarnation is the member's incarnation at the transition.
+	Incarnation uint32 `json:"incarnation"`
+}
+
+// Transport carries one request/response gossip exchange. The HTTP
+// implementation is in transport.go; tests use the in-memory one.
+type Transport interface {
+	Exchange(ctx context.Context, addr string, msg Message) (Message, error)
+}
+
+// Config tunes a Node. Name, Peers and Transport are required.
+type Config struct {
+	// Name is this node's cluster-unique name.
+	Name string
+	// Addr is this node's advertised address (rides in updates so peers
+	// of peers learn how to reach it).
+	Addr string
+	// Peers is the static member list (this node excluded or included —
+	// its own entry is ignored).
+	Peers []Peer
+	// Transport carries the exchanges.
+	Transport Transport
+	// Clock injects virtual time (nil = wall clock).
+	Clock Clock
+	// Seed drives the probe-order shuffle — the protocol's only
+	// randomness.
+	Seed int64
+	// Interval is the background protocol period for Run (default 1s).
+	// Tick ignores it.
+	Interval time.Duration
+	// Timeout bounds one exchange (default 1s).
+	Timeout time.Duration
+	// IndirectProbes is how many helpers a failed direct probe recruits
+	// for ping-req (default 1).
+	IndirectProbes int
+	// SuspectAfter is how many consecutive failed probe rounds of a
+	// member make it suspect (default 2) — the gossip analogue of the
+	// prober's mark-down hysteresis.
+	SuspectAfter int
+	// DeadAfter is how long a suspicion may stand unrefuted before the
+	// member is confirmed dead (default 10s).
+	DeadAfter time.Duration
+	// QueueDepth, when non-nil, reports this node's run-queue depth for
+	// piggybacking (the gate's work-stealing signal).
+	QueueDepth func() int
+	// OnEvent, when non-nil, observes every membership transition
+	// synchronously in emission order.
+	OnEvent func(Event)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = wallClock{}
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.IndirectProbes <= 0 {
+		c.IndirectProbes = 1
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 10 * time.Second
+	}
+	return c
+}
+
+// member is one peer's tracked state.
+type member struct {
+	name        string
+	addr        string
+	state       State
+	incarnation uint32
+	queueDepth  uint32
+	misses      int       // consecutive failed probe rounds
+	suspectedAt time.Time // when the local node first suspected it
+}
+
+// Node is one gossip participant.
+type Node struct {
+	cfg   Config
+	clock Clock
+
+	mu      sync.Mutex
+	members map[string]*member // peers only; self tracked separately
+	order   []string           // current probe round order (seeded shuffle)
+	pos     int
+	rng     *rand.Rand
+	selfInc uint32
+	seq     uint32 // probe sequence
+	evSeq   uint64
+}
+
+// NewNode builds a node from the static peer list.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("gossip: node name is required")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("gossip: transport is required")
+	}
+	n := &Node{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		members: make(map[string]*member, len(cfg.Peers)),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, p := range cfg.Peers {
+		if p.Name == "" || p.Name == cfg.Name {
+			continue
+		}
+		if _, dup := n.members[p.Name]; dup {
+			return nil, fmt.Errorf("gossip: duplicate peer %q", p.Name)
+		}
+		n.members[p.Name] = &member{name: p.Name, addr: p.Addr, state: StateAlive}
+	}
+	if len(n.members) == 0 {
+		return nil, fmt.Errorf("gossip: at least one peer is required")
+	}
+	return n, nil
+}
+
+// Name is the node's cluster name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Incarnation is the node's own current incarnation number.
+func (n *Node) Incarnation() uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.selfInc
+}
+
+// View snapshots the membership — every peer plus the node itself —
+// sorted by name, so renderings and assertions are deterministic.
+func (n *Node) View() []Update {
+	n.mu.Lock()
+	out := n.updatesLocked()
+	n.mu.Unlock()
+	return out
+}
+
+// updatesLocked builds the piggyback view: self first (by name sort
+// below), peers after, all sorted by name.
+func (n *Node) updatesLocked() []Update {
+	out := make([]Update, 0, len(n.members)+1)
+	out = append(out, Update{
+		Node: n.cfg.Name, Addr: n.cfg.Addr, State: StateAlive,
+		Incarnation: n.selfInc, QueueDepth: n.localQueueDepth(),
+	})
+	for _, m := range n.members {
+		out = append(out, Update{
+			Node: m.name, Addr: m.addr, State: m.state,
+			Incarnation: m.incarnation, QueueDepth: m.queueDepth,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+func (n *Node) localQueueDepth() uint32 {
+	if n.cfg.QueueDepth == nil {
+		return 0
+	}
+	d := n.cfg.QueueDepth()
+	if d < 0 {
+		return 0
+	}
+	return uint32(d)
+}
+
+// emit publishes events outside the node lock, in emission order.
+func (n *Node) emit(events []Event) {
+	if n.cfg.OnEvent == nil {
+		return
+	}
+	for _, e := range events {
+		n.cfg.OnEvent(e)
+	}
+}
+
+// eventLocked allocates the next event.
+func (n *Node) eventLocked(node string, state State, inc uint32) Event {
+	e := Event{Seq: n.evSeq, Node: node, State: state.String(), Incarnation: inc}
+	n.evSeq++
+	return e
+}
+
+// Tick runs one protocol period: probe the next member (directly, then
+// indirectly), fold in whatever the exchanges taught us, and sweep
+// suspicions past the confirmation timeout. Deterministic under an
+// injected clock, seed and transport.
+func (n *Node) Tick(ctx context.Context) {
+	target, addr, ok := n.nextTarget()
+	var events []Event
+	if ok {
+		events = n.probe(ctx, target, addr)
+	}
+	events = append(events, n.sweepSuspects()...)
+	n.emit(events)
+}
+
+// nextTarget picks the next probe target via seeded randomized
+// round-robin: the member list is shuffled once per full cycle, so
+// every member is probed exactly once per cycle but in an order an
+// adversarial failure pattern cannot predict.
+func (n *Node) nextTarget() (name, addr string, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.members) == 0 {
+		return "", "", false
+	}
+	if n.pos >= len(n.order) {
+		names := make([]string, 0, len(n.members))
+		for name := range n.members {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		n.rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+		n.order, n.pos = names, 0
+	}
+	name = n.order[n.pos]
+	n.pos++
+	m := n.members[name]
+	if m == nil {
+		return "", "", false
+	}
+	return name, m.addr, true
+}
+
+// probe runs the direct-then-indirect probe of one member and applies
+// the outcome. Returned events are not yet emitted.
+func (n *Node) probe(ctx context.Context, target, addr string) []Event {
+	n.mu.Lock()
+	seq := n.seq
+	n.seq++
+	updates := n.updatesLocked()
+	helpers := n.helpersLocked(target)
+	n.mu.Unlock()
+
+	ping := Message{Kind: KindPing, Seq: seq, From: n.cfg.Name, Updates: updates}
+	ack, err := n.exchange(ctx, addr, ping)
+	if err != nil {
+		// Indirect probes: ask k other members to ping the target for us.
+		// A helper that reaches the target relays its ack.
+		req := Message{Kind: KindPingReq, Seq: seq, From: n.cfg.Name, Target: target, Updates: updates}
+		for _, h := range helpers {
+			if ack, err = n.exchange(ctx, h.addr, req); err == nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return n.probeFailed(target)
+	}
+	events := n.Apply(ack.Updates)
+	return append(events, n.probeSucceeded(target)...)
+}
+
+func (n *Node) exchange(ctx context.Context, addr string, msg Message) (Message, error) {
+	ectx, cancel := context.WithTimeout(ctx, n.cfg.Timeout)
+	defer cancel()
+	return n.cfg.Transport.Exchange(ectx, addr, msg)
+}
+
+// helpersLocked picks up to IndirectProbes alive members (excluding the
+// target) in name order — deterministic helper selection.
+func (n *Node) helpersLocked(target string) []*member {
+	names := make([]string, 0, len(n.members))
+	for name, m := range n.members {
+		if name != target && m.state == StateAlive {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) > n.cfg.IndirectProbes {
+		names = names[:n.cfg.IndirectProbes]
+	}
+	out := make([]*member, 0, len(names))
+	for _, name := range names {
+		out = append(out, n.members[name])
+	}
+	return out
+}
+
+// probeFailed counts a miss and suspects the member once the misses
+// cross the hysteresis threshold.
+func (n *Node) probeFailed(target string) []Event {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.members[target]
+	if m == nil {
+		return nil
+	}
+	m.misses++
+	if m.state == StateAlive && m.misses >= n.cfg.SuspectAfter {
+		m.state = StateSuspect
+		m.suspectedAt = n.clock.Now()
+		return []Event{n.eventLocked(m.name, StateSuspect, m.incarnation)}
+	}
+	return nil
+}
+
+// probeSucceeded clears the miss counter. The ack's piggybacked
+// updates (already applied) are what actually move the member's state;
+// direct reachability on its own does not override a dead claim with a
+// higher incarnation.
+func (n *Node) probeSucceeded(target string) []Event {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m := n.members[target]; m != nil {
+		m.misses = 0
+	}
+	return nil
+}
+
+// sweepSuspects confirms suspicions older than the confirmation
+// timeout, in name order.
+func (n *Node) sweepSuspects() []Event {
+	now := n.clock.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var names []string
+	for name, m := range n.members {
+		if m.state == StateSuspect && now.Sub(m.suspectedAt) >= n.cfg.DeadAfter {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var events []Event
+	for _, name := range names {
+		m := n.members[name]
+		m.state = StateDead
+		events = append(events, n.eventLocked(m.name, StateDead, m.incarnation))
+	}
+	return events
+}
+
+// Apply folds a batch of gossiped updates into the membership and
+// returns the resulting transition events (already sequenced, not yet
+// emitted — Receive and probe emit them). Conflict resolution is
+// SWIM's: a higher incarnation always wins; within an incarnation,
+// dead > suspect > alive. An update claiming this node itself is
+// anything but alive is refuted by bumping the node's own incarnation
+// past the claim, which the next piggyback spreads.
+func (n *Node) Apply(updates []Update) []Event {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var events []Event
+	for _, u := range updates {
+		if u.Node == n.cfg.Name {
+			if u.State != StateAlive && u.Incarnation >= n.selfInc {
+				n.selfInc = u.Incarnation + 1
+			}
+			continue
+		}
+		m := n.members[u.Node]
+		if m == nil {
+			// Unknown node: static membership means this is a peer-of-peer
+			// we were not seeded with. Track it so the view converges.
+			m = &member{name: u.Node, addr: u.Addr, state: StateAlive}
+			n.members[u.Node] = m
+			n.order = nil // re-shuffle next cycle with the new member
+			n.pos = 0
+		}
+		if u.Addr != "" {
+			m.addr = u.Addr
+		}
+		if !supersedes(u, m) {
+			continue
+		}
+		changed := m.state != u.State
+		m.incarnation = u.Incarnation
+		m.queueDepth = u.QueueDepth
+		if changed {
+			m.state = u.State
+			if u.State == StateSuspect {
+				m.suspectedAt = n.clock.Now()
+			}
+			if u.State == StateAlive {
+				m.misses = 0
+			}
+			events = append(events, n.eventLocked(m.name, m.state, m.incarnation))
+		}
+	}
+	return events
+}
+
+// supersedes reports whether update u overrides member m's current
+// record.
+func supersedes(u Update, m *member) bool {
+	if u.Incarnation != m.incarnation {
+		return u.Incarnation > m.incarnation
+	}
+	if u.State != m.state {
+		return u.State > m.state // dead > suspect > alive
+	}
+	// Same incarnation, same state: refresh the queue depth.
+	return true
+}
+
+// Receive handles one inbound message and returns the reply. Pings are
+// acked with the local view; ping-reqs probe the target on the
+// sender's behalf and relay the target's ack (or fail, which tells the
+// sender the target is unreachable from here too).
+func (n *Node) Receive(ctx context.Context, msg Message) (Message, error) {
+	n.emit(n.Apply(msg.Updates))
+	switch msg.Kind {
+	case KindPing:
+		n.mu.Lock()
+		ack := Message{Kind: KindAck, Seq: msg.Seq, From: n.cfg.Name, Updates: n.updatesLocked()}
+		n.mu.Unlock()
+		return ack, nil
+	case KindPingReq:
+		n.mu.Lock()
+		m := n.members[msg.Target]
+		var addr string
+		if m != nil {
+			addr = m.addr
+		}
+		updates := n.updatesLocked()
+		n.mu.Unlock()
+		if m == nil {
+			return Message{}, fmt.Errorf("gossip: ping-req for unknown node %q", msg.Target)
+		}
+		ack, err := n.exchange(ctx, addr, Message{Kind: KindPing, Seq: msg.Seq, From: n.cfg.Name, Updates: updates})
+		if err != nil {
+			return Message{}, fmt.Errorf("gossip: indirect probe of %s failed: %w", msg.Target, err)
+		}
+		n.emit(n.Apply(ack.Updates))
+		n.mu.Lock()
+		relay := Message{Kind: KindAck, Seq: msg.Seq, From: n.cfg.Name, Updates: n.updatesLocked()}
+		n.mu.Unlock()
+		return relay, nil
+	case KindAck:
+		return Message{}, fmt.Errorf("gossip: unsolicited ack from %s", msg.From)
+	}
+	return Message{}, fmt.Errorf("gossip: unhandled kind %d", msg.Kind)
+}
+
+// Run drives Tick on the configured interval until ctx is done — the
+// production loop; tests call Tick directly.
+func (n *Node) Run(ctx context.Context) {
+	t := time.NewTicker(n.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			n.Tick(ctx)
+		}
+	}
+}

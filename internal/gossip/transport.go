@@ -1,0 +1,154 @@
+package gossip
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// GossipPath is where the HTTP transport POSTs exchanges and where
+// Handler expects to be mounted.
+const GossipPath = "/v1/gossip"
+
+// maxWireBytes bounds a transported message body; anything larger is
+// malformed by construction (MaxUpdates bounds the encoded size far
+// below this).
+const maxWireBytes = 1 << 20
+
+// HTTPTransport carries exchanges as POST {addr}/v1/gossip with the
+// binary codec as the body. The injected client is the chaos seam: a
+// chaos-wrapped *http.Client drives gossip through the same scheduled
+// fault timeline as the data path.
+type HTTPTransport struct {
+	// Client issues the requests (nil = http.DefaultClient; production
+	// passes the same bounded — and possibly chaos-wrapped — client as
+	// the data fan-out).
+	Client *http.Client
+}
+
+// Exchange implements Transport over HTTP.
+func (t *HTTPTransport) Exchange(ctx context.Context, addr string, msg Message) (Message, error) {
+	body, err := Encode(msg)
+	if err != nil {
+		return Message{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+GossipPath, bytes.NewReader(body))
+	if err != nil {
+		return Message{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	hc := t.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return Message{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return Message{}, fmt.Errorf("gossip: %s returned %d", addr, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxWireBytes))
+	if err != nil {
+		return Message{}, err
+	}
+	return Decode(raw)
+}
+
+// Handler serves a node's side of the HTTP transport: decode, Receive,
+// encode the reply. Mount it at GossipPath.
+func Handler(n *Node) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "gossip: POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		raw, err := io.ReadAll(io.LimitReader(r.Body, maxWireBytes))
+		if err != nil {
+			http.Error(w, "gossip: reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		msg, err := Decode(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reply, err := n.Receive(r.Context(), msg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		body, err := Encode(reply)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(body)
+	})
+}
+
+// MemTransport is the in-process transport tests drive: synchronous,
+// deterministic, with per-address partitioning so probes can be failed
+// on purpose.
+type MemTransport struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	down  map[string]bool
+}
+
+// NewMemTransport builds an empty in-memory fabric.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{nodes: make(map[string]*Node), down: make(map[string]bool)}
+}
+
+// Register attaches a node at addr.
+func (t *MemTransport) Register(addr string, n *Node) {
+	t.mu.Lock()
+	t.nodes[addr] = n
+	t.mu.Unlock()
+}
+
+// SetDown partitions (or heals) an address: exchanges to it fail.
+func (t *MemTransport) SetDown(addr string, down bool) {
+	t.mu.Lock()
+	t.down[addr] = down
+	t.mu.Unlock()
+}
+
+// Exchange implements Transport in-process. The target's Receive runs
+// synchronously on the caller's goroutine — which is what makes
+// multi-node protocol rounds deterministic in tests.
+func (t *MemTransport) Exchange(ctx context.Context, addr string, msg Message) (Message, error) {
+	t.mu.Lock()
+	n, ok := t.nodes[addr]
+	down := t.down[addr]
+	t.mu.Unlock()
+	if !ok || down {
+		return Message{}, fmt.Errorf("gossip: %s unreachable", addr)
+	}
+	// Round-trip through the codec so the memory transport exercises
+	// exactly the wire format the HTTP transport does.
+	raw, err := Encode(msg)
+	if err != nil {
+		return Message{}, err
+	}
+	decoded, err := Decode(raw)
+	if err != nil {
+		return Message{}, err
+	}
+	reply, err := n.Receive(ctx, decoded)
+	if err != nil {
+		return Message{}, err
+	}
+	rawReply, err := Encode(reply)
+	if err != nil {
+		return Message{}, err
+	}
+	return Decode(rawReply)
+}

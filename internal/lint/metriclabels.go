@@ -44,12 +44,16 @@ var MetricLabelsAnalyzer = &Analyzer{
 // gate.BreakerTransition's Backend and To fields are bounded for the
 // same reasons: Backend is always a Replica.Name, and To is one of the
 // three breaker state constants (closed/open/half-open).
+// gate.ReconcileDecision.Action is one of the four reconcile action
+// constants (terminal/keep/rehome/steal) — the reconciler constructs
+// decisions from that closed set only.
 var boundedFields = map[string]bool{
 	"bench.Experiment.ID":            true,
 	"obs.ClassStats.Class":           true,
 	"gate.Replica.Name":              true,
 	"gate.BreakerTransition.Backend": true,
 	"gate.BreakerTransition.To":      true,
+	"gate.ReconcileDecision.Action":  true,
 }
 
 // labelTraceDepth bounds the parameter-to-call-site recursion.

@@ -103,3 +103,14 @@ type BreakerTransition struct{ Backend, To string }
 func TrackBreaker(t BreakerTransition) {
 	requests.With(t.Backend, t.To).Inc()
 }
+
+// ReconcileDecision mimics gate.ReconcileDecision. The sanctioned
+// field is gate.ReconcileDecision.Action; this one qualifies as
+// obs.ReconcileDecision.Action, so the reconciler's sanction does not
+// transfer across packages. want.
+type ReconcileDecision struct{ Action string }
+
+// TrackReconcile selects the look-alike action field. want.
+func TrackReconcile(d ReconcileDecision) {
+	requests.With(d.Action).Inc()
+}

@@ -278,7 +278,7 @@ func (c *Client) Run(ctx context.Context, id string, wait bool) (RunResource, in
 // statuses into (code, nil-error) and extracting any Retry-After hint.
 func decodeRunResponse(resp *http.Response) (RunResource, int, time.Duration, error) {
 	defer resp.Body.Close()
-	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
 		// Drain the error body so the connection is reusable; the status
 		// code is the signal.
@@ -292,17 +292,36 @@ func decodeRunResponse(resp *http.Response) (RunResource, int, time.Duration, er
 	return res, resp.StatusCode, retryAfter, nil
 }
 
-// parseRetryAfter reads a delay-seconds Retry-After value (the only
-// form this API emits); anything else is zero.
-func parseRetryAfter(v string) time.Duration {
+// maxRetryAfter caps honored backpressure hints. The HTTP-date form is
+// computed against the client's clock, so skew between the two machines
+// leaks straight into the wait — a hint pointing hours out says more
+// about a wrong clock than about real backpressure.
+const maxRetryAfter = 15 * time.Minute
+
+// parseRetryAfter reads a Retry-After value in either RFC 9110
+// §10.2.3 form — delta-seconds or an HTTP-date — as the wait relative
+// to now. Malformed values are zero; a date already past (server ahead
+// of us, or a slow response) clamps to zero; anything beyond
+// maxRetryAfter clamps to the cap.
+func parseRetryAfter(v string, now time.Time) time.Duration {
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.ParseInt(v, 10, 64)
-	if err != nil || secs < 0 {
+	var d time.Duration
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if when, derr := http.ParseTime(v); derr == nil {
+		d = when.Sub(now)
+	} else {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if d < 0 {
+		return 0
+	}
+	return min(d, maxRetryAfter)
 }
 
 // Healthz checks liveness; it returns an error while the server is

@@ -139,14 +139,34 @@ func writeSubmitError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	filter := Status(r.URL.Query().Get("status"))
+	if filter != "" && !validStatus(filter) {
+		writeError(w, http.StatusBadRequest,
+			"unknown status "+string(filter)+" (valid: queued, running, done, failed, canceled, timeout)")
+		return
+	}
 	views := s.Runs()
 	out := make([]RunResource, 0, len(views))
 	for _, v := range views {
+		if filter != "" && v.Status != filter {
+			continue
+		}
 		// The listing stays light: reports are fetched per run.
 		v.Report = nil
 		out = append(out, resourceFromView(v, false))
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// validStatus reports whether s is one of the run-status vocabulary
+// values (the ?status= listing filter rejects anything else, so typos
+// fail loudly instead of returning a silently empty list).
+func validStatus(s Status) bool {
+	switch s {
+	case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCanceled, StatusTimeout:
+		return true
+	}
+	return false
 }
 
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,83 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"piumagcn/internal/bench"
+	"piumagcn/internal/serve"
+)
+
+// TestListRunsStatusFilter pins the run-enumeration surface the gate's
+// anti-entropy reconciler (and operators) lean on: GET /v1/runs with
+// ?status= returns only runs in that state, and an unknown status is a
+// loud 400 instead of a silently empty list.
+func TestListRunsStatusFilter(t *testing.T) {
+	var started atomic.Int64
+	release := make(chan struct{})
+	instant := bench.Experiment{
+		ID:    "instant",
+		Title: "instant",
+		Run: func(ctx context.Context, o bench.Options) (*bench.Report, error) {
+			r := &bench.Report{ID: "instant", Title: "instant"}
+			r.Add("section", "body")
+			return r, nil
+		},
+	}
+	s := newTestServer(t, serve.Config{
+		Experiments: []bench.Experiment{instant, blockingExperiment("blocker", &started, release)},
+		Workers:     1,
+	})
+	h := s.Handler()
+
+	list := func(query string) []serve.RunResource {
+		t.Helper()
+		rec := doJSON(t, h, http.MethodGet, "/v1/runs"+query, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /v1/runs%s: status %d: %s", query, rec.Code, rec.Body.String())
+		}
+		var out []serve.RunResource
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("decoding listing: %v", err)
+		}
+		return out
+	}
+
+	// One run held running (the single worker is parked on it), one run
+	// stuck behind it in the queue.
+	blocked := decodeRun(t, doJSON(t, h, http.MethodPost, "/v1/runs", `{"experiment":"blocker","options":{"quick":true}}`))
+	waitStatus(t, s, blocked.ID, serve.StatusRunning)
+	queued := decodeRun(t, doJSON(t, h, http.MethodPost, "/v1/runs", `{"experiment":"instant","options":{"quick":true}}`))
+
+	if got := list(""); len(got) != 2 {
+		t.Fatalf("unfiltered listing holds %d runs, want 2", len(got))
+	}
+	if got := list("?status=running"); len(got) != 1 || got[0].ID != blocked.ID {
+		t.Fatalf("?status=running = %+v, want just the blocked run", got)
+	}
+	if got := list("?status=queued"); len(got) != 1 || got[0].ID != queued.ID {
+		t.Fatalf("?status=queued = %+v, want just the waiting run", got)
+	}
+	if got := list("?status=done"); len(got) != 0 {
+		t.Fatalf("?status=done holds %d runs before completion, want 0", len(got))
+	}
+
+	close(release)
+	waitStatus(t, s, blocked.ID, serve.StatusDone)
+	waitStatus(t, s, queued.ID, serve.StatusDone)
+	if got := list("?status=done"); len(got) != 2 {
+		t.Fatalf("?status=done holds %d runs after completion, want 2", len(got))
+	}
+	if got := list(fmt.Sprintf("?status=%s", serve.StatusFailed)); len(got) != 0 {
+		t.Fatalf("?status=failed holds %d runs, want 0", len(got))
+	}
+
+	rec := doJSON(t, h, http.MethodGet, "/v1/runs?status=sideways", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown status filter: status %d, want 400 (body: %s)", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins both RFC 9110 §10.2.3 Retry-After forms —
+// delta-seconds and HTTP-date — including the clock-skew clamps: a
+// date already past waits zero (never negative), and a hint pointing
+// absurdly far out (a wrong clock, not real backpressure) caps at
+// maxRetryAfter.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
+	httpDate := func(d time.Duration) string {
+		return now.Add(d).UTC().Format(http.TimeFormat)
+	}
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"empty", "", 0},
+		{"delta seconds", "7", 7 * time.Second},
+		{"delta zero", "0", 0},
+		{"delta negative", "-3", 0},
+		{"delta absurd caps", "86400", maxRetryAfter},
+		{"malformed", "soon", 0},
+		{"malformed float", "1.5", 0},
+		{"http date ahead", httpDate(30 * time.Second), 30 * time.Second},
+		{"http date past clamps to zero", httpDate(-time.Minute), 0},
+		{"http date at now", httpDate(0), 0},
+		{"http date far out caps", httpDate(2 * time.Hour), maxRetryAfter},
+		{"http date wrong layout", now.Format(time.RFC3339), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := parseRetryAfter(tc.v, now); got != tc.want {
+				t.Fatalf("parseRetryAfter(%q) = %v, want %v", tc.v, got, tc.want)
+			}
+		})
+	}
+
+	// The two obsolete HTTP-date layouts http.ParseTime accepts parse
+	// too (RFC 850 and ANSI C asctime) — servers in the wild emit them.
+	for _, layout := range []string{"Monday, 02-Jan-06 15:04:05 MST", time.ANSIC} {
+		v := now.Add(10 * time.Second).UTC().Format(layout)
+		if got := parseRetryAfter(v, now); got != 10*time.Second {
+			t.Fatalf("parseRetryAfter(%q, layout %q) = %v, want 10s", v, layout, got)
+		}
+	}
+}

@@ -1,0 +1,422 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The intake ledger is the gate's durable admission book: every run the
+// gate admits is journaled here *before* any backend sees it, so run
+// ownership survives both a gate restart and the permanent death of the
+// replica a run was routed to. The ledger reuses the store's framed WAL
+// codec (same CRC32C frames, same quarantine-and-truncate recovery) in
+// its own file, <dir>/intake.wal, so a gate and a replica can share a
+// data directory without their journals interleaving.
+//
+// Three record types describe a run's intake lifecycle:
+//
+//	intake-admitted — admission control accepted the run. Carries the
+//	                  experiment, the canonical options JSON (enough to
+//	                  resubmit the content-addressed run anywhere), the
+//	                  SLO class and the admission instant, which is what
+//	                  lets a restarting gate re-derive its token-bucket
+//	                  fill levels instead of double-admitting a burst.
+//	intake-routed   — the run was forwarded to (or re-homed onto) a
+//	                  named backend.
+//	intake-terminal — the run was observed in a terminal status; the
+//	                  reconciler writes this once and compaction drops
+//	                  the run afterwards.
+const (
+	IntakeAdmitted RecordType = "intake-admitted"
+	IntakeRouted   RecordType = "intake-routed"
+	IntakeTerminal RecordType = "intake-terminal"
+)
+
+// intakeFile is the ledger's journal name inside the data directory.
+const intakeFile = "intake.wal"
+
+// intakeCompactEvery is how many terminal runs accumulate before the
+// ledger compacts terminal entries away (snapshot-and-truncate on the
+// underlying journal).
+const intakeCompactEvery = 64
+
+// IntakeRecord is one intake-ledger journal entry.
+type IntakeRecord struct {
+	Type       RecordType      `json:"type"`
+	RunID      string          `json:"run_id"`
+	Experiment string          `json:"experiment,omitempty"`
+	Options    json.RawMessage `json:"options,omitempty"`
+	Class      string          `json:"class,omitempty"`
+	// AtUnixMs is the admission instant in Unix milliseconds under the
+	// gate's (possibly virtual) clock — replayed through the admission
+	// buckets on boot.
+	AtUnixMs int64  `json:"at_unix_ms,omitempty"`
+	Backend  string `json:"backend,omitempty"`
+	Status   string `json:"status,omitempty"`
+}
+
+// Validate rejects intake records that could not be replayed.
+func (r IntakeRecord) Validate() error {
+	if r.RunID == "" {
+		return fmt.Errorf("store: %s record without a run ID", r.Type)
+	}
+	switch r.Type {
+	case IntakeAdmitted:
+		if r.Experiment == "" {
+			return fmt.Errorf("store: intake-admitted record for %s without an experiment", r.RunID)
+		}
+	case IntakeRouted:
+		if r.Backend == "" {
+			return fmt.Errorf("store: intake-routed record for %s without a backend", r.RunID)
+		}
+	case IntakeTerminal:
+		if r.Status == "" {
+			return fmt.Errorf("store: intake-terminal record for %s without a status", r.RunID)
+		}
+	default:
+		return fmt.Errorf("store: unknown intake record type %q", r.Type)
+	}
+	return nil
+}
+
+// Encode renders the record's journal payload.
+func (r IntakeRecord) Encode() ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(r)
+}
+
+// DecodeIntakeRecord parses one intake journal payload.
+func DecodeIntakeRecord(b []byte) (IntakeRecord, error) {
+	var r IntakeRecord
+	if err := json.Unmarshal(b, &r); err != nil {
+		return IntakeRecord{}, fmt.Errorf("store: undecodable intake record: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return IntakeRecord{}, err
+	}
+	return r, nil
+}
+
+// IntakeRun is one admitted run's folded ledger state.
+type IntakeRun struct {
+	RunID      string          `json:"run_id"`
+	Experiment string          `json:"experiment"`
+	Options    json.RawMessage `json:"options,omitempty"`
+	Class      string          `json:"class,omitempty"`
+	AdmittedMs int64           `json:"admitted_unix_ms"`
+	// Backend is the replica the run was last routed to ("" before the
+	// first successful forward).
+	Backend string `json:"backend,omitempty"`
+	// Status is the observed terminal status, "" while non-terminal.
+	Status string `json:"status,omitempty"`
+	// Rehomed counts routed records after the first — failovers and
+	// reconciler re-homes.
+	Rehomed int `json:"rehomed,omitempty"`
+}
+
+// Terminal reports whether the run has reached a terminal status.
+func (r IntakeRun) Terminal() bool { return r.Status != "" }
+
+// IntakeAdmission is one replayed admission instant — the SLO class
+// and the (virtual-clock) time the previous process admitted a run.
+// The gate replays these through its admission buckets on boot so a
+// restart does not double-admit a burst.
+type IntakeAdmission struct {
+	Class    string
+	AtUnixMs int64
+}
+
+// IntakeRecovered summarizes what OpenIntakeLedger replayed.
+type IntakeRecovered struct {
+	// Records is how many valid intake records the journal held.
+	Records int
+	// Malformed counts payloads that framed correctly but failed to
+	// decode (skipped, never fatal).
+	Malformed int
+	// Runs is how many distinct runs the replay folded to.
+	Runs int
+	// NonTerminal is how many of those runs still lack a terminal
+	// status — the reconciler's work list after a restart.
+	NonTerminal int
+	// Admissions is every admitted record's (class, instant) pair in
+	// append order — terminal runs included, because their tokens were
+	// spent too.
+	Admissions []IntakeAdmission
+	// Tail and QuarantinePath describe a corrupt journal suffix, as in
+	// Recovered.
+	Tail           Tail
+	QuarantinePath string
+}
+
+// IntakeLedger is the gate's durable run-ownership book: an in-memory
+// fold of the intake journal, kept in admission order so every
+// traversal (reconciliation, admission replay, compaction) is
+// deterministic.
+type IntakeLedger struct {
+	mu       sync.Mutex
+	j        *Journal
+	runs     map[string]*IntakeRun
+	order    []string // admission order, including terminal runs until compaction
+	terminal int
+}
+
+// OpenIntakeLedger opens (creating if absent) the intake ledger inside
+// dir, replays it, and compacts away any terminal runs left from the
+// previous process so the journal does not grow across restarts.
+func OpenIntakeLedger(dir string, policy SyncPolicy) (*IntakeLedger, IntakeRecovered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, IntakeRecovered{}, fmt.Errorf("store: creating ledger dir: %w", err)
+	}
+	path := filepath.Join(dir, intakeFile)
+	j, rec, err := OpenJournal(path, policy)
+	if err != nil {
+		return nil, IntakeRecovered{}, err
+	}
+	l := &IntakeLedger{j: j, runs: make(map[string]*IntakeRun)}
+	info := IntakeRecovered{Tail: rec.Tail, QuarantinePath: rec.QuarantinePath}
+	for _, p := range rec.Payloads {
+		r, err := DecodeIntakeRecord(p)
+		if err != nil {
+			info.Malformed++
+			continue
+		}
+		info.Records++
+		if r.Type == IntakeAdmitted {
+			info.Admissions = append(info.Admissions, IntakeAdmission{Class: r.Class, AtUnixMs: r.AtUnixMs})
+		}
+		l.applyLocked(r)
+	}
+	info.Runs = len(l.runs)
+	for _, run := range l.runs {
+		if !run.Terminal() {
+			info.NonTerminal++
+		}
+	}
+	if l.terminal > 0 {
+		if err := l.compactLocked(); err != nil {
+			j.Close()
+			return nil, IntakeRecovered{}, err
+		}
+	}
+	return l, info, nil
+}
+
+// applyLocked folds one record into the in-memory state (no journal
+// write — replay and append share it).
+func (l *IntakeLedger) applyLocked(r IntakeRecord) {
+	switch r.Type {
+	case IntakeAdmitted:
+		if run, ok := l.runs[r.RunID]; ok {
+			// Re-admission of a known run ID (content-addressed
+			// resubmission): reset it to non-terminal with the fresh
+			// admission instant, mirroring serve's accepted-record replay.
+			if run.Terminal() {
+				l.terminal--
+			}
+			run.Experiment = r.Experiment
+			run.Options = r.Options
+			run.Class = r.Class
+			run.AdmittedMs = r.AtUnixMs
+			run.Backend = ""
+			run.Status = ""
+			run.Rehomed = 0
+			return
+		}
+		l.runs[r.RunID] = &IntakeRun{
+			RunID:      r.RunID,
+			Experiment: r.Experiment,
+			Options:    r.Options,
+			Class:      r.Class,
+			AdmittedMs: r.AtUnixMs,
+		}
+		l.order = append(l.order, r.RunID)
+	case IntakeRouted:
+		run, ok := l.runs[r.RunID]
+		if !ok || run.Terminal() {
+			return
+		}
+		if run.Backend != "" && run.Backend != r.Backend {
+			run.Rehomed++
+		}
+		run.Backend = r.Backend
+	case IntakeTerminal:
+		run, ok := l.runs[r.RunID]
+		if !ok || run.Terminal() {
+			return
+		}
+		run.Status = r.Status
+		l.terminal++
+	}
+}
+
+// append journals one record and folds it into the state. The journal
+// write happens first: a record acknowledged in memory but absent from
+// disk would un-do the ledger's whole reason to exist.
+func (l *IntakeLedger) append(r IntakeRecord) error {
+	payload, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.j.Append(payload); err != nil {
+		return err
+	}
+	l.applyLocked(r)
+	if l.terminal >= intakeCompactEvery {
+		// Best effort: a failed compaction leaves the journal longer but
+		// still correct, and the sticky journal error will surface on the
+		// next append if the disk is truly gone.
+		//lint:ignore erriswritten compaction failure is recoverable; the next append reports the sticky error
+		l.compactLocked()
+	}
+	return nil
+}
+
+// Admitted journals an admission: the run is now owned by the cluster,
+// whatever happens to any single replica.
+func (l *IntakeLedger) Admitted(runID, experiment string, options json.RawMessage, class string, atUnixMs int64) error {
+	return l.append(IntakeRecord{
+		Type: IntakeAdmitted, RunID: runID, Experiment: experiment,
+		Options: options, Class: class, AtUnixMs: atUnixMs,
+	})
+}
+
+// Routed journals which backend the run was forwarded to.
+func (l *IntakeLedger) Routed(runID, backend string) error {
+	return l.append(IntakeRecord{Type: IntakeRouted, RunID: runID, Backend: backend})
+}
+
+// Terminal journals the run's observed terminal status. Idempotent: a
+// run already terminal is left untouched (no duplicate record), and the
+// return reports whether this call made the transition.
+func (l *IntakeLedger) Terminal(runID, status string) (bool, error) {
+	l.mu.Lock()
+	run, ok := l.runs[runID]
+	if !ok || run.Terminal() {
+		l.mu.Unlock()
+		return false, nil
+	}
+	l.mu.Unlock()
+	if err := l.append(IntakeRecord{Type: IntakeTerminal, RunID: runID, Status: status}); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Run returns a copy of one run's folded state.
+func (l *IntakeLedger) Run(runID string) (IntakeRun, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	run, ok := l.runs[runID]
+	if !ok {
+		return IntakeRun{}, false
+	}
+	return *run, true
+}
+
+// NonTerminal returns the runs still lacking a terminal status, in
+// admission order — the reconciler's deterministic work list.
+func (l *IntakeLedger) NonTerminal() []IntakeRun {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]IntakeRun, 0, len(l.order))
+	for _, id := range l.order {
+		if run := l.runs[id]; run != nil && !run.Terminal() {
+			out = append(out, *run)
+		}
+	}
+	return out
+}
+
+// All returns every tracked run in admission order (terminal runs
+// included until compaction drops them).
+func (l *IntakeLedger) All() []IntakeRun {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]IntakeRun, 0, len(l.order))
+	for _, id := range l.order {
+		if run := l.runs[id]; run != nil {
+			out = append(out, *run)
+		}
+	}
+	return out
+}
+
+// Len is the number of tracked (non-compacted) runs; NonTerminalLen is
+// the open subset.
+func (l *IntakeLedger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.order)
+}
+
+// NonTerminalLen is the number of runs still awaiting a terminal
+// status.
+func (l *IntakeLedger) NonTerminalLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.order) - l.terminal
+}
+
+// Compact rewrites the journal with only the non-terminal runs'
+// canonical records (admitted, then routed when a backend is known).
+func (l *IntakeLedger) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.compactLocked()
+}
+
+func (l *IntakeLedger) compactLocked() error {
+	var payloads [][]byte
+	keep := l.order[:0:0]
+	for _, id := range l.order {
+		run := l.runs[id]
+		if run == nil {
+			continue
+		}
+		if run.Terminal() {
+			delete(l.runs, id)
+			continue
+		}
+		keep = append(keep, id)
+		adm, err := IntakeRecord{
+			Type: IntakeAdmitted, RunID: run.RunID, Experiment: run.Experiment,
+			Options: run.Options, Class: run.Class, AtUnixMs: run.AdmittedMs,
+		}.Encode()
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, adm)
+		if run.Backend != "" {
+			rt, err := IntakeRecord{Type: IntakeRouted, RunID: run.RunID, Backend: run.Backend}.Encode()
+			if err != nil {
+				return err
+			}
+			payloads = append(payloads, rt)
+		}
+	}
+	if err := l.j.Rewrite(payloads); err != nil {
+		return err
+	}
+	l.order = keep
+	l.terminal = 0
+	return nil
+}
+
+// SizeBytes is the underlying journal's valid length.
+func (l *IntakeLedger) SizeBytes() int64 { return l.j.Size() }
+
+// Err surfaces a sticky journal write failure.
+func (l *IntakeLedger) Err() error { return l.j.Err() }
+
+// Sync forces the journal to disk.
+func (l *IntakeLedger) Sync() error { return l.j.Sync() }
+
+// Close syncs and closes the ledger's journal.
+func (l *IntakeLedger) Close() error { return l.j.Close() }

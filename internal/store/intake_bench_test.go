@@ -1,0 +1,51 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkIntakeLedgerLifecycle measures the gate-side cost of one
+// run's full intake lifecycle — admitted, routed, terminal — with
+// fsync left to the page cache, isolating the framing + bookkeeping
+// overhead the ledger adds to the gate hot path.
+func BenchmarkIntakeLedgerLifecycle(b *testing.B) {
+	l, _, err := OpenIntakeLedger(b.TempDir(), SyncNever)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	opts := json.RawMessage(`{"quick":true,"seed":1}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("r-%08x", i)
+		if err := l.Admitted(id, "fig5", opts, "gold", int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Routed(id, "b0"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Terminal(id, "done"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntakeLedgerAdmitSynced is the durability-priced variant:
+// every admission fsyncs before the gate may act on it, the policy a
+// production gate runs with.
+func BenchmarkIntakeLedgerAdmitSynced(b *testing.B) {
+	l, _, err := OpenIntakeLedger(b.TempDir(), SyncAlways)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	opts := json.RawMessage(`{"quick":true,"seed":1}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Admitted(fmt.Sprintf("r-%08x", i), "fig5", opts, "gold", int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openIntake(t *testing.T, dir string) (*IntakeLedger, IntakeRecovered) {
+	t.Helper()
+	l, rec, err := OpenIntakeLedger(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, rec
+}
+
+func TestIntakeLedgerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openIntake(t, dir)
+	if rec.Records != 0 || rec.Runs != 0 {
+		t.Fatalf("fresh ledger recovered %+v", rec)
+	}
+	opts := json.RawMessage(`{"quick":true}`)
+	if err := l.Admitted("r-1", "table1", opts, "gold", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Admitted("r-2", "fig5", opts, "batch", 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Routed("r-1", "b0"); err != nil {
+		t.Fatal(err)
+	}
+	open := l.NonTerminal()
+	if len(open) != 2 || open[0].RunID != "r-1" || open[1].RunID != "r-2" {
+		t.Fatalf("non-terminal = %+v", open)
+	}
+	if open[0].Backend != "b0" || open[1].Backend != "" {
+		t.Fatalf("backends = %q, %q", open[0].Backend, open[1].Backend)
+	}
+	moved, err := l.Terminal("r-1", "done")
+	if err != nil || !moved {
+		t.Fatalf("terminal: moved=%v err=%v", moved, err)
+	}
+	// Idempotent: a second terminal observation neither errors nor
+	// journals.
+	size := l.SizeBytes()
+	moved, err = l.Terminal("r-1", "failed")
+	if err != nil || moved {
+		t.Fatalf("re-terminal: moved=%v err=%v", moved, err)
+	}
+	if l.SizeBytes() != size {
+		t.Fatal("idempotent terminal grew the journal")
+	}
+	if got := l.NonTerminalLen(); got != 1 {
+		t.Fatalf("non-terminal len = %d, want 1", got)
+	}
+	run, ok := l.Run("r-1")
+	if !ok || run.Status != "done" {
+		t.Fatalf("run r-1 = %+v ok=%v", run, ok)
+	}
+}
+
+func TestIntakeLedgerReplayAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openIntake(t, dir)
+	opts := json.RawMessage(`{"seed":7}`)
+	for _, id := range []string{"r-a", "r-b", "r-c"} {
+		if err := l.Admitted(id, "table1", opts, "silver", 500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Routed("r-b", "b1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Terminal("r-a", "done"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: terminal runs are compacted away at boot, open runs keep
+	// their routing and admission instants.
+	l2, rec := openIntake(t, dir)
+	if rec.Runs != 3 || rec.NonTerminal != 2 {
+		t.Fatalf("recovered %+v", rec)
+	}
+	if got := l2.Len(); got != 2 {
+		t.Fatalf("post-compaction len = %d, want 2", got)
+	}
+	open := l2.NonTerminal()
+	if len(open) != 2 || open[0].RunID != "r-b" || open[1].RunID != "r-c" {
+		t.Fatalf("non-terminal after replay = %+v", open)
+	}
+	if open[0].Backend != "b1" || open[0].AdmittedMs != 500 || open[0].Class != "silver" {
+		t.Fatalf("r-b state lost in replay: %+v", open[0])
+	}
+	if _, ok := l2.Run("r-a"); ok {
+		t.Fatal("terminal run survived compaction")
+	}
+}
+
+func TestIntakeLedgerReadmissionResets(t *testing.T) {
+	l, _ := openIntake(t, t.TempDir())
+	opts := json.RawMessage(`{}`)
+	if err := l.Admitted("r-x", "table1", opts, "gold", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Routed("r-x", "b0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Terminal("r-x", "done"); err != nil {
+		t.Fatal(err)
+	}
+	// Content-addressed resubmission of a completed run re-opens it.
+	if err := l.Admitted("r-x", "table1", opts, "gold", 900); err != nil {
+		t.Fatal(err)
+	}
+	run, ok := l.Run("r-x")
+	if !ok || run.Terminal() || run.Backend != "" || run.AdmittedMs != 900 {
+		t.Fatalf("re-admitted run = %+v", run)
+	}
+	if l.NonTerminalLen() != 1 {
+		t.Fatalf("non-terminal len = %d", l.NonTerminalLen())
+	}
+}
+
+func TestIntakeLedgerRehomeCount(t *testing.T) {
+	l, _ := openIntake(t, t.TempDir())
+	if err := l.Admitted("r-m", "fig5", json.RawMessage(`{}`), "", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"b0", "b1", "b1", "b2"} {
+		if err := l.Routed("r-m", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run, _ := l.Run("r-m")
+	// b0→b1 and b1→b2 are re-homes; the repeated b1 is not.
+	if run.Rehomed != 2 || run.Backend != "b2" {
+		t.Fatalf("rehomed=%d backend=%s", run.Rehomed, run.Backend)
+	}
+}
+
+func TestIntakeLedgerQuarantinesCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openIntake(t, dir)
+	if err := l.Admitted("r-ok", "table1", json.RawMessage(`{}`), "", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, intakeFile)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, rec := openIntake(t, dir)
+	if rec.Tail.Clean() || rec.QuarantinePath == "" {
+		t.Fatalf("corrupt tail not quarantined: %+v", rec)
+	}
+	if rec.Runs != 1 || l2.NonTerminalLen() != 1 {
+		t.Fatalf("valid prefix lost: %+v", rec)
+	}
+}

@@ -2,9 +2,11 @@ package workload
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -99,6 +101,39 @@ func TestRetryAfter429ThroughGateAdmission(t *testing.T) {
 	}
 	if out := rep.Render(); !strings.Contains(out, "r429") {
 		t.Fatalf("rendered report missing the r429 column:\n%s", out)
+	}
+}
+
+// TestRetryAfterHTTPDate: a 429 whose Retry-After carries the RFC 9110
+// HTTP-date form (instead of delta-seconds) paces the retry exactly
+// like the numeric form — the generator waits at least until the named
+// instant before the attempt that succeeds.
+func TestRetryAfterHTTPDate(t *testing.T) {
+	var calls int64
+	start := time.Now()
+	tsrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			// +2s: the HTTP-date form truncates to whole seconds, so a
+			// +1s hint could collapse to nearly zero; two seconds out the
+			// truncated instant is always at least one second away.
+			w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"r-fake","experiment":"table1","status":"done"}`)
+	}))
+	t.Cleanup(tsrv.Close)
+	hc := &HTTPClient{C: serve.NewClient(tsrv.URL, nil), Timeout: 15 * time.Second, Retry429: 2}
+	resp := hc.Do(context.Background(), Request{Seq: 0, Experiment: "table1", Options: bench.QuickOptions()})
+	if resp.HTTPStatus != http.StatusOK || resp.Retried429 != 1 {
+		t.Fatalf("HTTP-date retry: %+v", resp)
+	}
+	// Insist the hint actually paced the retry: a zero-parsed hint
+	// would come back after the 100ms fallback, well under the
+	// truncated instant's one-second floor.
+	if waited := time.Since(start); waited < 900*time.Millisecond {
+		t.Fatalf("retry came back after %v, want the HTTP-date hint (1-2s) honored", waited)
 	}
 }
 

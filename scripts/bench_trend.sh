@@ -6,14 +6,15 @@
 # other artifact.
 #
 # Usage: scripts/bench_trend.sh [packages...]
-#        (default: the load-generator and simulator hot paths)
+#        (default: the load-generator, store, gossip-codec and
+#        gate-submit hot paths)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT="BENCH_TREND.json"
 PKGS=("$@")
 if [ ${#PKGS[@]} -eq 0 ]; then
-    PKGS=(./internal/workload/ ./internal/store/)
+    PKGS=(./internal/workload/ ./internal/store/ ./internal/gossip/ ./internal/gate/)
 fi
 
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
