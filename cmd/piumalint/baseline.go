@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"piumagcn/internal/lint"
+)
+
+// The baseline file lets the analyzers land strict without blocking
+// the tree: record today's findings, then fail only on new ones.
+// Entries are keyed by (module-relative path, analyzer, message) —
+// line and column are deliberately dropped so unrelated edits that
+// shift code do not resurrect baselined findings. The match is a
+// multiset: the ratchet only tightens (fixing a finding and adding an
+// identical one elsewhere in the same file still fails).
+
+// baselineKey renders a diagnostic's ratchet identity.
+func baselineKey(d lint.Diagnostic, moduleDir string) string {
+	path := d.Path
+	if rel, err := filepath.Rel(moduleDir, path); err == nil && !strings.HasPrefix(rel, "..") {
+		path = filepath.ToSlash(rel)
+	}
+	return path + "\t" + d.Analyzer + "\t" + d.Message
+}
+
+// writeBaseline records the current findings, one key per line.
+func writeBaseline(path string, diags []lint.Diagnostic, moduleDir string) error {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(baselineKey(d, moduleDir))
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// applyBaseline filters out findings recorded in the baseline file,
+// returning only the new ones.
+func applyBaseline(path string, diags []lint.Diagnostic, moduleDir string) ([]lint.Diagnostic, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("piumalint: reading baseline: %w", err)
+	}
+	defer f.Close()
+	allowed := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		allowed[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("piumalint: reading baseline: %w", err)
+	}
+	var fresh []lint.Diagnostic
+	for _, d := range diags {
+		key := baselineKey(d, moduleDir)
+		if allowed[key] > 0 {
+			allowed[key]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, nil
+}

@@ -109,7 +109,9 @@ type Config struct {
 	// piggybacking (the gate's work-stealing signal).
 	QueueDepth func() int
 	// OnEvent, when non-nil, observes every membership transition
-	// synchronously in emission order.
+	// synchronously in emission (Seq) order, even when Ticks and
+	// Receives race. Delivery is serialized, so the callback must not
+	// call back into Tick or Receive.
 	OnEvent func(Event)
 }
 
@@ -159,6 +161,14 @@ type Node struct {
 	selfInc uint32
 	seq     uint32 // probe sequence
 	evSeq   uint64
+	pending []Event // sequenced under mu, not yet delivered to OnEvent
+
+	// emitMu serializes OnEvent delivery. Seq is allocated under mu but
+	// delivery happens outside it; without this lock two concurrent
+	// Receives could hand their event batches to OnEvent in the wrong
+	// order (Seq 6 observed before Seq 5). Ordering: emitMu is acquired
+	// before mu, never the reverse.
+	emitMu sync.Mutex
 }
 
 // NewNode builds a node from the static peer list.
@@ -239,20 +249,34 @@ func (n *Node) localQueueDepth() uint32 {
 	return uint32(d)
 }
 
-// emit publishes events outside the node lock, in emission order.
-func (n *Node) emit(events []Event) {
+// emit drains every sequenced-but-undelivered event to OnEvent. The
+// callback runs outside the node lock (so it may call the read-side
+// API) but under emitMu: the pending queue is appended in Seq order
+// under mu, batches are drained in emitMu acquisition order, and a
+// later batch can only contain later Seqs — so observers see events in
+// Seq order even when Ticks and Receives race.
+func (n *Node) emit() {
 	if n.cfg.OnEvent == nil {
 		return
 	}
+	n.emitMu.Lock()
+	defer n.emitMu.Unlock()
+	n.mu.Lock()
+	events := n.pending
+	n.pending = nil
+	n.mu.Unlock()
 	for _, e := range events {
 		n.cfg.OnEvent(e)
 	}
 }
 
-// eventLocked allocates the next event.
+// eventLocked allocates the next event and queues it for delivery.
 func (n *Node) eventLocked(node string, state State, inc uint32) Event {
 	e := Event{Seq: n.evSeq, Node: node, State: state.String(), Incarnation: inc}
 	n.evSeq++
+	if n.cfg.OnEvent != nil {
+		n.pending = append(n.pending, e)
+	}
 	return e
 }
 
@@ -262,12 +286,11 @@ func (n *Node) eventLocked(node string, state State, inc uint32) Event {
 // injected clock, seed and transport.
 func (n *Node) Tick(ctx context.Context) {
 	target, addr, ok := n.nextTarget()
-	var events []Event
 	if ok {
-		events = n.probe(ctx, target, addr)
+		n.probe(ctx, target, addr)
 	}
-	events = append(events, n.sweepSuspects()...)
-	n.emit(events)
+	n.sweepSuspects()
+	n.emit()
 }
 
 // nextTarget picks the next probe target via seeded randomized
@@ -299,8 +322,8 @@ func (n *Node) nextTarget() (name, addr string, ok bool) {
 }
 
 // probe runs the direct-then-indirect probe of one member and applies
-// the outcome. Returned events are not yet emitted.
-func (n *Node) probe(ctx context.Context, target, addr string) []Event {
+// the outcome; resulting events are queued for the caller's emit.
+func (n *Node) probe(ctx context.Context, target, addr string) {
 	n.mu.Lock()
 	seq := n.seq
 	n.seq++
@@ -321,10 +344,11 @@ func (n *Node) probe(ctx context.Context, target, addr string) []Event {
 		}
 	}
 	if err != nil {
-		return n.probeFailed(target)
+		n.probeFailed(target)
+		return
 	}
-	events := n.Apply(ack.Updates)
-	return append(events, n.probeSucceeded(target)...)
+	n.Apply(ack.Updates)
+	n.probeSucceeded(target)
 }
 
 func (n *Node) exchange(ctx context.Context, addr string, msg Message) (Message, error) {
@@ -355,38 +379,36 @@ func (n *Node) helpersLocked(target string) []*member {
 
 // probeFailed counts a miss and suspects the member once the misses
 // cross the hysteresis threshold.
-func (n *Node) probeFailed(target string) []Event {
+func (n *Node) probeFailed(target string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	m := n.members[target]
 	if m == nil {
-		return nil
+		return
 	}
 	m.misses++
 	if m.state == StateAlive && m.misses >= n.cfg.SuspectAfter {
 		m.state = StateSuspect
 		m.suspectedAt = n.clock.Now()
-		return []Event{n.eventLocked(m.name, StateSuspect, m.incarnation)}
+		n.eventLocked(m.name, StateSuspect, m.incarnation)
 	}
-	return nil
 }
 
 // probeSucceeded clears the miss counter. The ack's piggybacked
 // updates (already applied) are what actually move the member's state;
 // direct reachability on its own does not override a dead claim with a
 // higher incarnation.
-func (n *Node) probeSucceeded(target string) []Event {
+func (n *Node) probeSucceeded(target string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if m := n.members[target]; m != nil {
 		m.misses = 0
 	}
-	return nil
 }
 
 // sweepSuspects confirms suspicions older than the confirmation
 // timeout, in name order.
-func (n *Node) sweepSuspects() []Event {
+func (n *Node) sweepSuspects() {
 	now := n.clock.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -397,18 +419,17 @@ func (n *Node) sweepSuspects() []Event {
 		}
 	}
 	sort.Strings(names)
-	var events []Event
 	for _, name := range names {
 		m := n.members[name]
 		m.state = StateDead
-		events = append(events, n.eventLocked(m.name, StateDead, m.incarnation))
+		n.eventLocked(m.name, StateDead, m.incarnation)
 	}
-	return events
 }
 
 // Apply folds a batch of gossiped updates into the membership and
-// returns the resulting transition events (already sequenced, not yet
-// emitted — Receive and probe emit them). Conflict resolution is
+// returns the resulting transition events (already sequenced and
+// queued for delivery — Receive and Tick flush the queue to OnEvent in
+// Seq order). Conflict resolution is
 // SWIM's: a higher incarnation always wins; within an incarnation,
 // dead > suspect > alive. An update claiming this node itself is
 // anything but alive is refuted by bumping the node's own incarnation
@@ -474,7 +495,8 @@ func supersedes(u Update, m *member) bool {
 // sender's behalf and relay the target's ack (or fail, which tells the
 // sender the target is unreachable from here too).
 func (n *Node) Receive(ctx context.Context, msg Message) (Message, error) {
-	n.emit(n.Apply(msg.Updates))
+	n.Apply(msg.Updates)
+	n.emit()
 	switch msg.Kind {
 	case KindPing:
 		n.mu.Lock()
@@ -497,7 +519,8 @@ func (n *Node) Receive(ctx context.Context, msg Message) (Message, error) {
 		if err != nil {
 			return Message{}, fmt.Errorf("gossip: indirect probe of %s failed: %w", msg.Target, err)
 		}
-		n.emit(n.Apply(ack.Updates))
+		n.Apply(ack.Updates)
+		n.emit()
 		n.mu.Lock()
 		relay := Message{Kind: KindAck, Seq: msg.Seq, From: n.cfg.Name, Updates: n.updatesLocked()}
 		n.mu.Unlock()

@@ -3,6 +3,7 @@ package gossip
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -259,5 +260,74 @@ func TestHTTPTransportExchange(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed gossip POST returned %d", resp.StatusCode)
+	}
+}
+
+// TestEventSeqOrderedUnderConcurrentReceive is the regression test for
+// the emission-order race: Seq is allocated under the node lock but
+// delivered to OnEvent outside it, so before emission was serialized
+// two racing Receives could hand their batches to the observer out of
+// order. Every message flips one per-worker node between suspect and
+// alive at a strictly increasing incarnation — a guaranteed transition
+// — so each Receive emits exactly one event while the membership stays
+// small; the observer must see Seq strictly increasing no matter how
+// the Receives interleave.
+func TestEventSeqOrderedUnderConcurrentReceive(t *testing.T) {
+	var mu sync.Mutex
+	var seqs []uint64
+	n, err := NewNode(Config{
+		Name:      "self",
+		Peers:     []Peer{{Name: "seed", Addr: "mem://seed"}},
+		Transport: NewMemTransport(),
+		Clock:     newFixedClock(),
+		OnEvent: func(e Event) {
+			mu.Lock()
+			seqs = append(seqs, e.Seq)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 32
+	const perWorker = 200
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				state := StateSuspect
+				if i%2 == 1 {
+					state = StateAlive
+				}
+				msg := Message{
+					Kind: KindPing,
+					From: "seed",
+					Updates: []Update{{
+						Node:        fmt.Sprintf("flap-%d", w),
+						Addr:        "mem://x",
+						State:       state,
+						Incarnation: uint32(i + 1),
+					}},
+				}
+				if _, err := n.Receive(context.Background(), msg); err != nil {
+					t.Errorf("receive: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(seqs) != workers*perWorker {
+		t.Fatalf("observed %d events, want %d", len(seqs), workers*perWorker)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("event %d out of order: Seq %d delivered after Seq %d", i, seqs[i], seqs[i-1])
+		}
 	}
 }

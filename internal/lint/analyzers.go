@@ -7,8 +7,11 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		CtxHygieneAnalyzer,
 		DeterminismAnalyzer,
+		DeterTaintAnalyzer,
 		ErrIsWrittenAnalyzer,
+		GoroLifetimeAnalyzer,
 		LockDisciplineAnalyzer,
+		LockOrderAnalyzer,
 		MetricLabelsAnalyzer,
 	}
 }

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkInterproceduralAnalyzers times one analysis pass per
+// analyzer over its fixture package (loading and type-checking happen
+// once, outside the loop): the marginal cost a warm piumalint run pays
+// per package, and the number the result cache is amortizing.
+func BenchmarkInterproceduralAnalyzers(b *testing.B) {
+	l, err := NewLoader(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, a := range []*Analyzer{LockOrderAnalyzer, GoroLifetimeAnalyzer, DeterTaintAnalyzer} {
+		dir := filepath.Join("testdata", "src", a.Name)
+		pkg, err := l.LoadDir(dir, "piumagcn/internal/lint/"+filepath.ToSlash(dir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(a.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if diags := Run(pkg, []*Analyzer{a}); len(diags) == 0 {
+					b.Fatal("fixture produced no diagnostics")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClosureHash times the parse-only content hashing the result
+// cache keys from — the fixed cost a fully warm piumalint run pays per
+// package in place of type-checking.
+func BenchmarkClosureHash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l, err := NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.ClosureHash("piumagcn/internal/lint/testdata/src/lockorder"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildCFG parses a single function body and builds its CFG without
+// type information (terminal-call recognition degrades to syntactic
+// panic, which is all these shapes need).
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", body, err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(nil, fd.Body)
+}
+
+func TestExitReachability(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"empty body falls off the end", ``, true},
+		{"plain return", `return`, true},
+		{"unconditional for never exits", `for { step() }`, false},
+		{"for with break exits", `for { if done() { break } }`, true},
+		{"for with return exits", `for { if done() { return } }`, true},
+		{"conditional for exits", `for cond() { step() }`, true},
+		{"range always exits", `for range ch { step() }`, true},
+		{"empty select blocks forever", `select {}`, false},
+		{"select with return exits", `for { select { case <-ch: return; default: } }`, true},
+		{"select looping every case never exits", `for { select { case <-a: step(); case <-b: step() } }`, false},
+		{"panic reaches exit", `for { panic("boom") }`, true},
+		{"self goto never exits", `L:
+	goto L`, false},
+		{"labeled break out of nested loops", `outer:
+	for {
+		for {
+			break outer
+		}
+	}`, true},
+		{"switch without default falls through", `switch x() { case 1: step() }`, true},
+		{"fallthrough in last clause does not crash", `switch x() {
+	case 1:
+		fallthrough
+	default:
+		step()
+	}`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := buildCFG(t, tc.body)
+			if got := c.ExitReachable(); got != tc.want {
+				t.Errorf("ExitReachable(%q) = %v, want %v", tc.body, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCFGEntryIsFirstBlockAndExitIsLast(t *testing.T) {
+	c := buildCFG(t, `if cond() { return }
+	step()`)
+	if c.Entry != c.Blocks[0] {
+		t.Error("Entry is not Blocks[0]")
+	}
+	if c.Exit != c.Blocks[len(c.Blocks)-1] {
+		t.Error("Exit is not the last block")
+	}
+	if len(c.Exit.Nodes) != 0 {
+		t.Error("Exit block holds nodes")
+	}
+}
+
+// TestCFGPlacesEveryStatementOnce walks a mixed body and checks that
+// every leaf statement appears in exactly one block — including dead
+// code after a return, which gets an unreachable block of its own.
+func TestCFGPlacesEveryStatementOnce(t *testing.T) {
+	c := buildCFG(t, `a()
+	if cond() {
+		b()
+		return
+	}
+	for i := 0; i < n; i++ {
+		c()
+	}
+	d()
+	return
+	e()`)
+	counts := make(map[string]int)
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						counts[id.Name]++
+					}
+				}
+			}
+		}
+	}
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		if counts[name] != 1 {
+			t.Errorf("statement %s() placed %d times, want exactly once", name, counts[name])
+		}
+	}
+	// e() follows a return: its block must be unreachable.
+	reach := c.Reachable()
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "e" && reach[blk] {
+				t.Error("dead code after return placed in a reachable block")
+			}
+		}
+	}
+}
+
+// TestTerminalCallsNeedTypesForQualified pins the nil-info degradation:
+// without type info only builtin panic ends a block, so os.Exit keeps
+// the fall-through path alive (conservative for gorolifetime).
+func TestTerminalCallsNeedTypesForQualified(t *testing.T) {
+	c := buildCFG(t, `for { os.Exit(1) }`)
+	if c.ExitReachable() {
+		t.Error("untyped os.Exit treated as terminal")
+	}
+}

@@ -1,0 +1,575 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// DeterTaintAnalyzer upgrades the determinism rules to value-level
+// dataflow taint, tracked across function boundaries. Sources are the
+// three nondeterminism wells of the serving tier: the wall clock
+// (time.Now/Since/Until), the process-global math/rand generators, and
+// map iteration order. Sinks are the places where a nondeterministic
+// value breaks a replay or a byte-identity contract: journal/ledger
+// appends and record/codec encodes (internal/store, internal/gossip),
+// metric label values (internal/obs *Vec.With) and stdlib log event
+// lines. Taint propagates through assignments, composite literals,
+// struct fields, returns and arguments of static module-internal calls.
+//
+// Two breaks keep the sanctioned patterns clean. Interface calls never
+// return taint: the injected-Clock pattern routes wall time through an
+// interface, so clock.Now() is deterministic by contract while a direct
+// time.Now() is not. And passing a map-order-tainted slice to a sort.*/
+// slices.* call clears that taint — collect-then-sort is the idiom this
+// codebase uses everywhere. Integer += accumulation over a map range
+// stays clean too (commutative), unlike floats.
+var DeterTaintAnalyzer = &Analyzer{
+	Name: "detertaint",
+	Doc: "track wall-clock, global-rand and map-iteration-order taint through " +
+		"values and calls into journal writes, codec encodes, metric labels and event logs",
+	RunModule: runDeterTaint,
+	Applies: scopedTo("internal/gate", "internal/gossip", "internal/chaos",
+		"internal/serve", "internal/store", "internal/cluster"),
+}
+
+// Taint kinds, also used in messages.
+const (
+	taintClock    = "wall clock"
+	taintRand     = "global rand"
+	taintMapOrder = "map iteration order"
+)
+
+// taintSet maps taint kind to the source position that introduced it
+// (first writer wins, for stable witnesses).
+type taintSet map[string]token.Pos
+
+func (ts taintSet) clone() taintSet {
+	out := make(taintSet, len(ts))
+	for k, v := range ts {
+		out[k] = v
+	}
+	return out
+}
+
+// union folds src into ts (allocating lazily), without touching the
+// fixpoint change flag — for evaluating expressions, not mutating
+// state.
+func union(ts, src taintSet) taintSet {
+	if len(src) == 0 {
+		return ts
+	}
+	if ts == nil {
+		ts = make(taintSet, len(src))
+	}
+	for k, pos := range src {
+		if _, ok := ts[k]; !ok {
+			ts[k] = pos
+		}
+	}
+	return ts
+}
+
+// taintState is the module-wide fixpoint state.
+type taintState struct {
+	m       *Module
+	obj     map[types.Object]taintSet
+	ret     map[*types.Func]taintSet
+	changed bool
+}
+
+// merge adds the kinds of src into dst (a lazily created objTaint or
+// retTaint entry), flagging change.
+func (st *taintState) merge(dst taintSet, src taintSet) taintSet {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(taintSet, len(src))
+	}
+	for k, pos := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = pos
+			st.changed = true
+		}
+	}
+	return dst
+}
+
+func (st *taintState) taintObj(obj types.Object, src taintSet) {
+	if obj == nil || len(src) == 0 {
+		return
+	}
+	st.obj[obj] = st.merge(st.obj[obj], src)
+}
+
+func runDeterTaint(p *ModulePass) {
+	st := &taintState{
+		m:   p.Module,
+		obj: make(map[types.Object]taintSet),
+		ret: make(map[*types.Func]taintSet),
+	}
+	// The state is almost monotone (sort kills are re-applied in source
+	// order each pass), so a small fixed bound suffices; the loop exits
+	// as soon as a pass leaves the state unchanged.
+	for range 16 {
+		st.changed = false
+		for _, fi := range st.m.Funcs() {
+			st.propagate(fi)
+		}
+		if !st.changed {
+			break
+		}
+	}
+	for _, fi := range st.m.Funcs() {
+		st.reportSinks(p, fi)
+	}
+}
+
+// propagate runs one transfer pass over a function body in source
+// order. Function literal bodies are included: they share the enclosing
+// scope's objects.
+func (st *taintState) propagate(fi *FuncInfo) {
+	info := fi.Pkg.Info
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			st.transferAssign(fi, n)
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					st.taintObj(info.Defs[identOf(n.Key)], taintSet{taintMapOrder: n.Pos()})
+					st.taintObj(info.Defs[identOf(n.Value)], taintSet{taintMapOrder: n.Pos()})
+				}
+			}
+		case *ast.ReturnStmt:
+			st.transferReturn(fi, n)
+		case *ast.CallExpr:
+			st.transferCall(fi, n)
+		}
+		return true
+	})
+}
+
+func (st *taintState) transferAssign(fi *FuncInfo, as *ast.AssignStmt) {
+	info := fi.Pkg.Info
+	// Op-assigns: merge rhs taint into the target — except integer
+	// accumulation of map-order taint, which is commutative.
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			ts := st.taintOf(fi, as.Rhs[0]).clone()
+			if obj := lhsTarget(info, as.Lhs[0]); obj != nil {
+				if !isFloat(obj.Type()) {
+					delete(ts, taintMapOrder)
+				}
+				st.taintObj(obj, ts)
+			}
+		}
+		return
+	}
+	// Multi-value from one call: every lhs gets the call's taint.
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		ts := st.taintOf(fi, as.Rhs[0])
+		for _, lhs := range as.Lhs {
+			st.taintObj(lhsTarget(info, lhs), ts)
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		st.taintObj(lhsTarget(info, lhs), st.taintOf(fi, as.Rhs[i]))
+	}
+}
+
+func (st *taintState) transferReturn(fi *FuncInfo, ret *ast.ReturnStmt) {
+	var ts taintSet
+	if len(ret.Results) == 0 {
+		// Bare return: named results carry the value.
+		if fi.Decl.Type.Results != nil {
+			for _, field := range fi.Decl.Type.Results.List {
+				for _, name := range field.Names {
+					ts = union(ts, st.obj[fi.Pkg.Info.Defs[name]])
+				}
+			}
+		}
+	}
+	for _, r := range ret.Results {
+		ts = union(ts, st.taintOf(fi, r))
+	}
+	if len(ts) > 0 {
+		st.ret[fi.Obj] = st.merge(st.ret[fi.Obj], ts)
+	}
+}
+
+// transferCall propagates argument taint into the parameters of static
+// module-internal callees, and applies the collect-then-sort kill.
+func (st *taintState) transferCall(fi *FuncInfo, call *ast.CallExpr) {
+	info := fi.Pkg.Info
+	if pkg, name, ok := pkgQualifiedCallee(info, call); ok && (pkg == "sort" || pkg == "slices") {
+		_ = name // every sort/slices entry point counts as ordering the arg
+		for _, arg := range call.Args {
+			if obj := rootObject(info, arg); obj != nil {
+				if ts := st.obj[obj]; ts != nil {
+					if _, ok := ts[taintMapOrder]; ok {
+						delete(ts, taintMapOrder)
+						st.changed = true
+					}
+				}
+			}
+		}
+		return
+	}
+	callee := st.m.FuncInfo(StaticCallee(info, call))
+	if callee == nil {
+		return
+	}
+	sig := callee.Obj.Signature()
+	params := sig.Params()
+	for i, arg := range call.Args {
+		ts := st.taintOf(fi, arg)
+		if len(ts) == 0 {
+			continue
+		}
+		idx := i
+		if sig.Variadic() && idx >= params.Len()-1 {
+			idx = params.Len() - 1
+		}
+		if idx >= 0 && idx < params.Len() {
+			st.taintObj(params.At(idx), ts)
+		}
+	}
+	// Receiver taint flows into the method's receiver object.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && callee.Decl.Recv != nil {
+		if recv := sig.Recv(); recv != nil {
+			st.taintObj(recv, st.taintOf(fi, sel.X))
+		}
+	}
+}
+
+// taintOf evaluates the taint of an expression under the current state.
+func (st *taintState) taintOf(fi *FuncInfo, e ast.Expr) taintSet {
+	info := fi.Pkg.Info
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return st.obj[obj]
+	case *ast.SelectorExpr:
+		var ts taintSet
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			ts = union(nil, st.obj[s.Obj()])
+		} else if obj := info.Uses[e.Sel]; obj != nil {
+			ts = union(nil, st.obj[obj])
+		}
+		return union(ts, st.taintOf(fi, e.X))
+	case *ast.CallExpr:
+		return st.taintOfCall(fi, e)
+	case *ast.BinaryExpr:
+		return union(st.taintOf(fi, e.X).clone(), st.taintOf(fi, e.Y))
+	case *ast.ParenExpr:
+		return st.taintOf(fi, e.X)
+	case *ast.StarExpr:
+		return st.taintOf(fi, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return nil // channel receive: a synchronization point, not a copy
+		}
+		return st.taintOf(fi, e.X)
+	case *ast.IndexExpr:
+		return st.taintOf(fi, e.X)
+	case *ast.SliceExpr:
+		return st.taintOf(fi, e.X)
+	case *ast.TypeAssertExpr:
+		return st.taintOf(fi, e.X)
+	case *ast.CompositeLit:
+		var ts taintSet
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				vts := st.taintOf(fi, kv.Value)
+				ts = union(ts, vts)
+				// Struct literal: the field object records the taint so
+				// later reads (and sink checks) see it.
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if fobj, ok := info.Uses[key].(*types.Var); ok && fobj.IsField() {
+						st.taintObj(fobj, vts)
+					}
+				}
+				continue
+			}
+			ts = union(ts, st.taintOf(fi, elt))
+		}
+		return ts
+	}
+	return nil
+}
+
+// taintOfCall handles sources, module-internal summaries, the interface
+// break, and conservative stdlib propagation.
+func (st *taintState) taintOfCall(fi *FuncInfo, call *ast.CallExpr) taintSet {
+	info := fi.Pkg.Info
+
+	// Sources.
+	if pkg, name, ok := pkgQualifiedCallee(info, call); ok {
+		switch pkg {
+		case "time":
+			switch name {
+			case "Now", "Since", "Until":
+				return taintSet{taintClock: call.Pos()}
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededConstructors[name] {
+				return taintSet{taintRand: call.Pos()}
+			}
+			return nil
+		}
+	}
+
+	// Builtins: len/cap and friends are deterministic even on maps;
+	// append carries its arguments' taint.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "new", "make", "delete", "clear", "close":
+				return nil
+			}
+			var ts taintSet
+			for _, arg := range call.Args {
+				ts = union(ts, st.taintOf(fi, arg))
+			}
+			return ts
+		}
+	}
+
+	// Interface dispatch breaks taint: the callee's contract, not its
+	// caller's dataflow, decides (the injected-Clock exemption).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if types.IsInterface(s.Recv()) {
+				return nil
+			}
+		}
+	}
+
+	// Static module-internal callee: use its return summary.
+	if fn := StaticCallee(info, call); fn != nil {
+		if callee := st.m.FuncInfo(fn); callee != nil {
+			return st.ret[callee.Obj]
+		}
+	}
+
+	// Conversions and remaining stdlib calls: conservative union of the
+	// receiver (for methods) and arguments — time.Time methods keep a
+	// wall-clock read tainted through UnixMilli() and friends.
+	var ts taintSet
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			ts = union(ts, st.taintOf(fi, sel.X))
+		}
+	}
+	for _, arg := range call.Args {
+		ts = union(ts, st.taintOf(fi, arg))
+	}
+	if _, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); isLit {
+		return nil // immediately-invoked literal: treated as opaque
+	}
+	return ts
+}
+
+// structFieldTaints unions the recorded taint of every field of the
+// (possibly pointered) named struct type — how taint planted on fields
+// by writes and literals surfaces when the whole value hits a sink.
+func (st *taintState) structFieldTaints(t types.Type) taintSet {
+	if t == nil {
+		return nil
+	}
+	named := derefNamed(t)
+	if named == nil {
+		return nil
+	}
+	s, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var ts taintSet
+	for i := 0; i < s.NumFields(); i++ {
+		ts = union(ts, st.obj[s.Field(i)])
+	}
+	return ts
+}
+
+// sinkRule describes one sink call shape. seg selects module packages
+// by path segment (so fixture packages can stand in for the real ones);
+// recv restricts to a receiver type name ("" = plain function).
+type sinkRule struct {
+	seg      string
+	recv     string
+	name     string
+	what     string
+	recvSink bool // the receiver value (its fields) is what is emitted
+}
+
+var deterTaintSinks = []sinkRule{
+	{seg: "store", recv: "Journal", name: "Append", what: "a journal append"},
+	{seg: "store", recv: "Store", name: "Append", what: "a ledger append"},
+	{seg: "store", recv: "Record", name: "Encode", what: "a record encode", recvSink: true},
+	{seg: "store", recv: "IntakeRecord", name: "Encode", what: "an intake-record encode", recvSink: true},
+	{seg: "store", recv: "", name: "AppendFrame", what: "a journal frame"},
+	{seg: "gossip", recv: "", name: "Encode", what: "the gossip codec"},
+	{seg: "obs", recv: "CounterVec", name: "With", what: "a metric label"},
+	{seg: "obs", recv: "GaugeVec", name: "With", what: "a metric label"},
+	{seg: "obs", recv: "HistogramVec", name: "With", what: "a metric label"},
+}
+
+// reportSinks walks one function and reports tainted values reaching
+// sinks.
+func (st *taintState) reportSinks(p *ModulePass, fi *FuncInfo) {
+	info := fi.Pkg.Info
+	fset := fi.Pkg.Fset
+	report := func(pos token.Pos, ts taintSet, what string) {
+		kinds := make([]string, 0, len(ts))
+		for k := range ts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			p.Reportf(pos, "value tainted by %s (at %s) reaches %s; make the input deterministic (injected clock, seeded rand, sorted iteration) before it is emitted",
+				kind, fset.Position(ts[kind]), what)
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Stdlib log lines are decision/event output.
+		if pkg, name, ok := pkgQualifiedCallee(info, call); ok && pkg == "log" {
+			switch name {
+			case "Print", "Printf", "Println":
+				for _, arg := range call.Args {
+					if ts := st.taintOf(fi, arg); len(ts) > 0 {
+						report(call.Pos(), ts, "an event-log line")
+					}
+				}
+			}
+			return true
+		}
+		rule, sel, ok := st.matchSink(info, call)
+		if !ok {
+			return true
+		}
+		if rule.recvSink {
+			ts := union(st.taintOf(fi, sel.X).clone(), st.structFieldTaints(typeOf(info, sel.X)))
+			if len(ts) > 0 {
+				report(call.Pos(), ts, rule.what)
+			}
+			return true
+		}
+		for _, arg := range call.Args {
+			ts := union(st.taintOf(fi, arg).clone(), st.structFieldTaints(typeOf(info, arg)))
+			if len(ts) > 0 {
+				report(call.Pos(), ts, rule.what)
+			}
+		}
+		return true
+	})
+}
+
+// matchSink resolves a call against the sink table.
+func (st *taintState) matchSink(info *types.Info, call *ast.CallExpr) (sinkRule, *ast.SelectorExpr, bool) {
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	for _, rule := range deterTaintSinks {
+		if rule.recv == "" {
+			if pkg, name, ok := pkgQualifiedCallee(info, call); ok && name == rule.name && pathWithin(pkg, rule.seg) {
+				return rule, sel, true
+			}
+			continue
+		}
+		if sel == nil {
+			continue
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.MethodVal || sel.Sel.Name != rule.name {
+			continue
+		}
+		named := derefNamed(s.Recv())
+		if named == nil || named.Obj().Name() != rule.recv || named.Obj().Pkg() == nil {
+			continue
+		}
+		if pathWithin(named.Obj().Pkg().Path(), rule.seg) {
+			return rule, sel, true
+		}
+	}
+	return sinkRule{}, nil, false
+}
+
+// typeOf is info.Types[e].Type, nil when untracked.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// lhsTarget resolves an assignment target to the object that receives
+// the taint: the variable itself, the struct field for selector writes,
+// or the container variable for index/deref writes.
+func lhsTarget(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Defs[e]; obj != nil {
+			return obj
+		}
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return rootObject(info, e.X)
+	case *ast.StarExpr:
+		return rootObject(info, e.X)
+	}
+	return nil
+}
+
+// rootObject digs to the variable at the base of an expression.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+				return s.Obj()
+			}
+			return info.Uses[x.Sel]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// identOf unwraps an expression to its identifier (nil for blank or
+// non-identifiers).
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	return id
+}

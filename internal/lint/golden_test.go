@@ -40,12 +40,19 @@ func TestGoldenDiagnostics(t *testing.T) {
 			if err != nil {
 				t.Fatalf("LoadDir(%s): %v", dir, err)
 			}
+			absDir, err := filepath.Abs(dir)
+			if err != nil {
+				t.Fatalf("Abs(%s): %v", dir, err)
+			}
 			var got []string
 			for _, d := range Run(pkg, []*Analyzer{a}) {
 				// Positions (both the diagnostic's own and any embedded in
 				// messages) carry the load dir; the goldens are relative to
-				// the fixture dir.
-				got = append(got, strings.ReplaceAll(d.String(), dir+string(filepath.Separator), ""))
+				// the fixture dir. Sub-packages of a fixture load through
+				// the module loader and carry the absolute dir, so strip
+				// that form first.
+				s := strings.ReplaceAll(d.String(), absDir+string(filepath.Separator), "")
+				got = append(got, strings.ReplaceAll(s, dir+string(filepath.Separator), ""))
 			}
 			wantRaw, err := os.ReadFile(filepath.Join(dir, "expected.txt"))
 			if err != nil {
@@ -64,6 +71,18 @@ func TestGoldenDiagnostics(t *testing.T) {
 				if got[i] != want[i] {
 					t.Errorf("finding %d:\n got: %s\nwant: %s", i, got[i], want[i])
 				}
+			}
+			// Byte-identical across runs: the interprocedural analyzers
+			// iterate maps internally, so a second pass over the same
+			// loaded package must render the exact same diagnostics.
+			var again []string
+			for _, d := range Run(pkg, []*Analyzer{a}) {
+				s := strings.ReplaceAll(d.String(), absDir+string(filepath.Separator), "")
+				again = append(again, strings.ReplaceAll(s, dir+string(filepath.Separator), ""))
+			}
+			if strings.Join(got, "\n") != strings.Join(again, "\n") {
+				t.Errorf("diagnostics differ between two runs:\nfirst:\n%s\nsecond:\n%s",
+					strings.Join(got, "\n"), strings.Join(again, "\n"))
 			}
 		})
 	}

@@ -46,12 +46,19 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description for usage text.
 	Doc string
-	// Run inspects the package and reports findings through the pass.
+	// Run inspects one package and reports findings through the pass.
+	// Nil for module-level analyzers.
 	Run func(*Pass)
+	// RunModule inspects the whole module view at once — the hook for
+	// interprocedural analyzers (lockorder, gorolifetime, detertaint)
+	// that must see call edges crossing package boundaries. Nil for
+	// per-package analyzers.
+	RunModule func(*ModulePass)
 	// Applies scopes the analyzer during unfiltered runs: it reports
 	// whether the analyzer should run on the package at the given import
-	// path. An explicit -analyzer selection bypasses it. Nil means the
-	// analyzer applies everywhere.
+	// path. For module analyzers it decides which packages' files may
+	// carry diagnostics. An explicit -analyzer selection bypasses it.
+	// Nil means the analyzer applies everywhere.
 	Applies func(pkgPath, pkgName string) bool
 }
 
@@ -83,6 +90,30 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Deps are the package's module-internal direct imports, sorted by
+	// import path — the edges NewModule closes over.
+	Deps []*Package
+}
+
+// ModulePass is one module analyzer's view of the whole module.
+type ModulePass struct {
+	// Module is the package closure under analysis.
+	Module   *Module
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos. Findings outside the run's target
+// packages are dropped by RunModule.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Packages[0].Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Path:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Run executes the analyzers over the package, applies //lint:ignore
@@ -90,8 +121,16 @@ type Package struct {
 // position. Malformed directives are reported under the analyzer name
 // "directive".
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	var perPkg, module []*Analyzer
 	for _, a := range analyzers {
+		if a.RunModule != nil {
+			module = append(module, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
+	var diags []Diagnostic
+	for _, a := range perPkg {
 		pass := &Pass{Package: pkg, analyzer: a, diags: &diags}
 		a.Run(pass)
 	}
@@ -104,6 +143,54 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 	diags = kept
+	if len(module) > 0 {
+		// Module analyzers see the package plus its module-internal dep
+		// closure, reporting into this package only.
+		diags = append(diags, RunModule(NewModule(pkg), []*Package{pkg}, module)...)
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// RunModule executes module-level analyzers over m, keeping only
+// diagnostics positioned in the target packages' files with their
+// //lint:ignore suppressions applied. Malformed directives are not
+// re-reported here — Run reports them once per package.
+func RunModule(m *Module, targets []*Package, analyzers []*Analyzer) []Diagnostic {
+	if len(m.Packages) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Module: m, analyzer: a, diags: &diags}
+		a.RunModule(mp)
+	}
+	targetFiles := make(map[string]bool)
+	var dirs []directive
+	for _, pkg := range targets {
+		for _, f := range pkg.Files {
+			targetFiles[pkg.Fset.Position(f.Pos()).Filename] = true
+		}
+		ds, _ := collectDirectives(pkg)
+		dirs = append(dirs, ds...)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if targetFiles[d.Path] && !suppressed(d, dirs) {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders diagnostics by position, then analyzer, then
+// message — the stable order every runner and cache emits.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Path != b.Path {
@@ -120,7 +207,6 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
 }
 
 // directive is one parsed //lint:ignore comment. It suppresses matching

@@ -27,6 +27,7 @@ type Loader struct {
 	std     types.ImporterFrom
 	pkgs    map[string]*Package
 	loading map[string]bool
+	metas   map[string]*PackageMeta
 }
 
 // NewLoader finds the module root at or above dir (by locating go.mod)
@@ -141,6 +142,20 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-checking %s:\n%w", importPath, errors.Join(typeErrs...))
 	}
 	p := &Package{Path: importPath, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	// Module-internal imports were loaded through this loader during
+	// Check, so they are in l.pkgs now; record them as dep edges for
+	// NewModule's closure.
+	depSet := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if dep, ok := l.pkgs[path]; ok && !depSet[path] {
+				depSet[path] = true
+				p.Deps = append(p.Deps, dep)
+			}
+		}
+	}
+	sort.Slice(p.Deps, func(i, j int) bool { return p.Deps[i].Path < p.Deps[j].Path })
 	l.pkgs[importPath] = p
 	return p, nil
 }

@@ -1,0 +1,514 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer computes the module-wide lock-acquisition graph —
+// which mutexes may be held at the point each other mutex is acquired,
+// with holds propagated through static calls — and reports every cycle
+// as a potential deadlock, carrying the full acquisition-chain witness.
+//
+// Locks are identified structurally, not by instance: a mutex field is
+// keyed pkg.Type.field, a package-level mutex pkg.var, an embedded one
+// pkg.Type.embeddedField, and a local one function$name. Two fields of
+// the same key on different instances therefore conflate, so same-key
+// edges are suppressed except for a re-acquire of the identical printed
+// receiver (a guaranteed self-deadlock). The held-set analysis is a
+// may-analysis over the per-function CFG: branches do not leak holds
+// into each other, an Unlock ends the hold, and a deferred Unlock holds
+// to function exit. Function literals, go statements and defers are
+// opaque — they run outside the acquiring critical section's control
+// flow (defers run at exit, usually after the unlock they pair with).
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc: "report cycles in the interprocedural lock-acquisition order " +
+		"(mutexes acquired while other mutexes are held) as potential deadlocks",
+	RunModule: runLockOrder,
+	Applies:   notMain,
+}
+
+// lockAcq is one acquisition event: a stable lock key, the printed
+// receiver expression, and where the Lock call sits.
+type lockAcq struct {
+	key  string
+	recv string
+	pos  token.Pos
+}
+
+// lockEvent is one ordered event inside a CFG node.
+type lockEvent struct {
+	acquire *lockAcq  // non-nil: Lock/RLock
+	release string    // non-empty: Unlock/RUnlock key
+	call    *FuncInfo // non-nil: static module-internal call
+	pos     token.Pos
+}
+
+// lockCallSite is a module-internal call with the may-held snapshot at
+// the call.
+type lockCallSite struct {
+	callee *FuncInfo
+	pos    token.Pos
+	held   []lockAcq // sorted by key
+}
+
+// lockEdge is one arc of the acquisition graph with its witness text.
+type lockEdge struct {
+	from, to string
+	witness  string
+	pos      token.Pos // report anchor (acquisition or call site)
+}
+
+// lockFacts is everything runLockOrder learns about one function.
+type lockFacts struct {
+	acquires []lockAcq // local acquisitions, in CFG order
+	edges    []lockEdge
+	calls    []lockCallSite
+}
+
+func runLockOrder(p *ModulePass) {
+	m := p.Module
+	fset := m.Packages[0].Fset
+
+	facts := make(map[*FuncInfo]*lockFacts)
+	for _, fi := range m.Funcs() {
+		facts[fi] = lockOrderFacts(m, fi)
+	}
+
+	// Transitive acquisition summaries with provenance: for every
+	// function, which lock keys it may acquire (directly or through
+	// calls), and through which call that knowledge arrived.
+	type acqProv struct {
+		pos token.Pos // local Lock position, or the call-site position
+		via *FuncInfo // nil: acquired locally at pos
+	}
+	summary := make(map[*FuncInfo]map[string]acqProv)
+	for _, fi := range m.Funcs() {
+		s := make(map[string]acqProv)
+		for _, a := range facts[fi].acquires {
+			if _, ok := s[a.key]; !ok {
+				s[a.key] = acqProv{pos: a.pos}
+			}
+		}
+		summary[fi] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range m.Funcs() {
+			for _, cs := range facts[fi].calls {
+				callee := summary[cs.callee]
+				for _, key := range sortedKeys(callee) {
+					if _, ok := summary[fi][key]; !ok {
+						summary[fi][key] = acqProv{pos: cs.pos, via: cs.callee}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Assemble the global edge list: direct edges first, then edges
+	// induced by calling into lock-acquiring functions while holding.
+	var edges []lockEdge
+	for _, fi := range m.Funcs() {
+		edges = append(edges, facts[fi].edges...)
+		for _, cs := range facts[fi].calls {
+			if len(cs.held) == 0 {
+				continue
+			}
+			for _, key := range sortedKeys(summary[cs.callee]) {
+				// Reconstruct the call chain down to the actual Lock.
+				chain := []string{funcDisplay(cs.callee)}
+				prov := summary[cs.callee][key]
+				for prov.via != nil {
+					chain = append(chain, funcDisplay(prov.via))
+					prov = summary[prov.via][key]
+				}
+				for _, h := range cs.held {
+					if h.key == key {
+						continue // cross-instance same-key: not comparable
+					}
+					edges = append(edges, lockEdge{
+						from: h.key,
+						to:   key,
+						pos:  cs.pos,
+						witness: fmt.Sprintf("%s locked at %s, then call at %s enters %s, which acquires %s at %s",
+							h.key, fset.Position(h.pos), fset.Position(cs.pos),
+							strings.Join(chain, " -> "), key, fset.Position(prov.pos)),
+					})
+				}
+			}
+		}
+	}
+
+	// Dedup by (from, to), first edge wins (construction order is
+	// deterministic: function order, then CFG order).
+	adj := make(map[string][]string)
+	edgeInfo := make(map[[2]string]lockEdge)
+	var nodes []string
+	seen := make(map[string]bool)
+	for _, e := range edges {
+		k := [2]string{e.from, e.to}
+		if _, ok := edgeInfo[k]; ok {
+			continue
+		}
+		edgeInfo[k] = e
+		adj[e.from] = append(adj[e.from], e.to)
+		for _, n := range []string{e.from, e.to} {
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		sort.Strings(adj[n])
+	}
+
+	for _, cycle := range lockCycles(nodes, adj, edgeInfo) {
+		var parts []string
+		for i := 0; i+1 < len(cycle); i++ {
+			parts = append(parts, edgeInfo[[2]string{cycle[i], cycle[i+1]}].witness)
+		}
+		first := edgeInfo[[2]string{cycle[0], cycle[1]}]
+		p.Reportf(first.pos, "potential deadlock: lock-order cycle %s: %s",
+			strings.Join(cycle, " -> "), strings.Join(parts, "; "))
+	}
+}
+
+// lockCycles finds the strongly connected components of the acquisition
+// graph and returns one representative cycle per cyclic SCC (including
+// single-node self-loops), each as a key sequence starting and ending
+// at the SCC's smallest key. Deterministic: nodes and adjacency are
+// sorted, and the representative is the BFS-shortest cycle.
+func lockCycles(nodes []string, adj map[string][]string, edgeInfo map[[2]string]lockEdge) [][]string {
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 1
+	sccOf := make(map[string]int)
+	var sccs [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				sccOf[w] = len(sccs)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, v := range nodes {
+		if index[v] == 0 {
+			strongconnect(v)
+		}
+	}
+
+	var cycles [][]string
+	for id, comp := range sccs {
+		start := comp[0]
+		if len(comp) == 1 {
+			if _, ok := edgeInfo[[2]string{start, start}]; ok {
+				cycles = append(cycles, []string{start, start})
+			}
+			continue
+		}
+		// Shortest path from start back to start inside the SCC.
+		parent := map[string]string{}
+		queue := []string{start}
+		var last string
+		for len(queue) > 0 && last == "" {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if sccOf[w] != id {
+					continue
+				}
+				if w == start {
+					last = v
+					break
+				}
+				if _, ok := parent[w]; !ok {
+					parent[w] = v
+					queue = append(queue, w)
+				}
+			}
+		}
+		if last == "" {
+			continue // SCC of size >1 always has one, but stay safe
+		}
+		var rev []string
+		for v := last; v != start; v = parent[v] {
+			rev = append(rev, v)
+		}
+		cycle := []string{start}
+		for i := len(rev) - 1; i >= 0; i-- {
+			cycle = append(cycle, rev[i])
+		}
+		cycle = append(cycle, start)
+		cycles = append(cycles, cycle)
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i][0] < cycles[j][0] })
+	return cycles
+}
+
+// lockOrderFacts runs the may-held dataflow over one function's CFG and
+// collects acquisitions, direct held→acquired edges and call sites with
+// their held snapshots.
+func lockOrderFacts(m *Module, fi *FuncInfo) *lockFacts {
+	f := &lockFacts{}
+	cfg := BuildCFG(fi.Pkg.Info, fi.Decl.Body)
+	fset := fi.Pkg.Fset
+
+	events := make(map[*Block][]lockEvent)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			events[blk] = append(events[blk], nodeLockEvents(m, fi, n)...)
+		}
+	}
+
+	apply := func(held map[string]lockAcq, ev lockEvent) {
+		switch {
+		case ev.acquire != nil:
+			if _, ok := held[ev.acquire.key]; !ok {
+				held[ev.acquire.key] = *ev.acquire
+			}
+		case ev.release != "":
+			delete(held, ev.release)
+		}
+	}
+
+	reach := cfg.Reachable()
+	in := map[*Block]map[string]lockAcq{cfg.Entry: {}}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range cfg.Blocks {
+			if !reach[blk] {
+				continue
+			}
+			state, ok := in[blk]
+			if !ok {
+				continue
+			}
+			out := make(map[string]lockAcq, len(state))
+			for k, v := range state {
+				out[k] = v
+			}
+			for _, ev := range events[blk] {
+				apply(out, ev)
+			}
+			for _, succ := range blk.Succs {
+				dst, ok := in[succ]
+				if !ok {
+					dst = make(map[string]lockAcq, len(out))
+					in[succ] = dst
+					changed = true
+				}
+				for k, v := range out {
+					if cur, ok := dst[k]; !ok || v.pos < cur.pos {
+						if !ok || cur != v {
+							dst[k] = v
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	snapshot := func(held map[string]lockAcq) []lockAcq {
+		out := make([]lockAcq, 0, len(held))
+		for _, k := range sortedKeys(held) {
+			out = append(out, held[k])
+		}
+		return out
+	}
+
+	// Recording pass over the stable states.
+	for _, blk := range cfg.Blocks {
+		state, ok := in[blk]
+		if !ok || !reach[blk] {
+			continue
+		}
+		held := make(map[string]lockAcq, len(state))
+		for k, v := range state {
+			held[k] = v
+		}
+		for _, ev := range events[blk] {
+			switch {
+			case ev.acquire != nil:
+				a := *ev.acquire
+				f.acquires = append(f.acquires, a)
+				for _, h := range snapshot(held) {
+					if h.key == a.key {
+						if h.recv != a.recv {
+							continue // same key, different instance expression
+						}
+						f.edges = append(f.edges, lockEdge{
+							from: h.key, to: a.key, pos: a.pos,
+							witness: fmt.Sprintf("%s locked at %s, then locked again at %s (self-deadlock on the same receiver)",
+								h.key, fset.Position(h.pos), fset.Position(a.pos)),
+						})
+						continue
+					}
+					f.edges = append(f.edges, lockEdge{
+						from: h.key, to: a.key, pos: a.pos,
+						witness: fmt.Sprintf("%s locked at %s, then %s acquired at %s",
+							h.key, fset.Position(h.pos), a.key, fset.Position(a.pos)),
+					})
+				}
+			case ev.call != nil:
+				f.calls = append(f.calls, lockCallSite{callee: ev.call, pos: ev.pos, held: snapshot(held)})
+			}
+			apply(held, ev)
+		}
+	}
+	return f
+}
+
+// nodeLockEvents extracts the ordered lock/call events of one CFG node.
+// Defers and go statements are skipped: a deferred Unlock holds the
+// lock to exit (modeled by never releasing), and a spawned goroutine
+// does not inherit the spawner's critical section.
+func nodeLockEvents(m *Module, fi *FuncInfo, node ast.Node) []lockEvent {
+	switch node.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return nil
+	}
+	var evs []lockEvent
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if sel, name, ok := mutexMethod(fi.Pkg, n); ok {
+				key, recv := lockKeyFor(fi, sel)
+				switch name {
+				case "Lock", "RLock":
+					evs = append(evs, lockEvent{acquire: &lockAcq{key: key, recv: recv, pos: n.Pos()}, pos: n.Pos()})
+				case "Unlock", "RUnlock":
+					evs = append(evs, lockEvent{release: key, pos: n.Pos()})
+				}
+				return true
+			}
+			if callee := m.FuncInfo(StaticCallee(fi.Pkg.Info, n)); callee != nil {
+				evs = append(evs, lockEvent{call: callee, pos: n.Pos()})
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+// mutexMethod resolves a call to a sync.Mutex/RWMutex method (including
+// promoted methods of embedded mutexes), returning the selector.
+func mutexMethod(pkg *Package, call *ast.CallExpr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	sig := fn.Signature()
+	if sig.Recv() == nil {
+		return nil, "", false
+	}
+	named := derefNamed(sig.Recv().Type())
+	if named == nil {
+		return nil, "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return sel, sel.Sel.Name, true
+	}
+	return nil, "", false
+}
+
+// lockKeyFor derives the stable identity of the mutex behind a
+// Lock/Unlock selector: pkg.Type.field for fields (including embedded
+// mutexes and fields reached through other fields), pkg.var for
+// package-level mutexes, and function$expr for locals.
+func lockKeyFor(fi *FuncInfo, sel *ast.SelectorExpr) (string, string) {
+	info := fi.Pkg.Info
+	recv := exprString(fi.Pkg.Fset, sel.X)
+
+	// Promoted method of an embedded mutex: key by the outer type and
+	// the first embedding hop.
+	if s, ok := info.Selections[sel]; ok && len(s.Index()) > 1 {
+		if named := derefNamed(s.Recv()); named != nil {
+			if st, ok := named.Underlying().(*types.Struct); ok && s.Index()[0] < st.NumFields() {
+				return typeQual(named) + "." + st.Field(s.Index()[0]).Name(), recv
+			}
+		}
+	}
+
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name(), recv
+			}
+			return funcDisplay(fi) + "$" + v.Name(), recv
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if named := derefNamed(s.Recv()); named != nil {
+				return typeQual(named) + "." + s.Obj().Name(), recv
+			}
+		} else if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), recv // qualified pkg.mu
+		}
+	}
+	return funcDisplay(fi) + "$" + recv, recv
+}
+
+// typeQual renders a named type as pkg.Type.
+func typeQual(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Name() + "." + n.Obj().Name()
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

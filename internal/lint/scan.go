@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// PackageMeta is the cheap, parse-only view of a module package: just
+// enough to name it, hash its content and follow its module-internal
+// imports. It exists so the result cache can compute keys without
+// type-checking anything.
+type PackageMeta struct {
+	// Path is the package's import path.
+	Path string
+	// Name is the package name from the package clauses.
+	Name string
+	// Dir is the absolute package directory.
+	Dir string
+	// Files are the buildable non-test Go files, sorted.
+	Files []string
+	// Deps are the module-internal imports, sorted.
+	Deps []string
+	// Hash is the hex SHA-256 over the package's own file names and
+	// contents.
+	Hash string
+}
+
+// Scan parses (imports-only) the module-internal package with the
+// given import path, returning its metadata. Results are cached per
+// loader.
+func (l *Loader) Scan(importPath string) (*PackageMeta, error) {
+	if m, ok := l.metas[importPath]; ok {
+		return m, nil
+	}
+	rel, ok := l.moduleRel(importPath)
+	if !ok {
+		return nil, fmt.Errorf("lint: %s is not inside module %s", importPath, l.ModulePath)
+	}
+	dir := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	m := &PackageMeta{Path: importPath, Dir: dir}
+	h := sha256.New()
+	depSet := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(data))
+		h.Write(data)
+		f, err := parser.ParseFile(fset, full, data, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		if m.Name == "" {
+			m.Name = f.Name.Name
+		}
+		for _, imp := range f.Imports {
+			path := importPathOf(imp.Path.Value)
+			if _, ok := l.moduleRel(path); ok {
+				depSet[path] = true
+			}
+		}
+		m.Files = append(m.Files, full)
+	}
+	m.Hash = hex.EncodeToString(h.Sum(nil))
+	for dep := range depSet {
+		m.Deps = append(m.Deps, dep)
+	}
+	sort.Strings(m.Deps)
+	if l.metas == nil {
+		l.metas = make(map[string]*PackageMeta)
+	}
+	l.metas[importPath] = m
+	return m, nil
+}
+
+// ClosureHash hashes a set of root packages together with their
+// transitive module-internal dependency closure — the content key under
+// which analysis results of those roots may be reused. Any byte change
+// in any file the analysis could have seen changes the key.
+func (l *Loader) ClosureHash(roots ...string) (string, error) {
+	closure := make(map[string]*PackageMeta)
+	var visit func(string) error
+	visit = func(path string) error {
+		if _, ok := closure[path]; ok {
+			return nil
+		}
+		m, err := l.Scan(path)
+		if err != nil {
+			return err
+		}
+		closure[path] = m
+		for _, dep := range m.Deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := visit(r); err != nil {
+			return "", err
+		}
+	}
+	paths := make([]string, 0, len(closure))
+	for p := range closure {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	sortedRoots := append([]string(nil), roots...)
+	sort.Strings(sortedRoots)
+	for _, r := range sortedRoots {
+		fmt.Fprintf(h, "root\x00%s\x00", r)
+	}
+	for _, p := range paths {
+		fmt.Fprintf(h, "pkg\x00%s\x00%s\x00", p, closure[p].Hash)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// importPathOf strips the quotes of an import spec path literal.
+func importPathOf(lit string) string {
+	if len(lit) >= 2 {
+		return lit[1 : len(lit)-1]
+	}
+	return lit
+}

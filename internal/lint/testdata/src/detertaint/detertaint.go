@@ -1,0 +1,97 @@
+// Package detertaint seeds value-level taint flows for the detertaint
+// analyzer: wall clock, global rand and map order reaching journal,
+// metric-label and event-log sinks — directly, laundered through a
+// helper, and planted in struct fields — plus the sanctioned clean
+// shapes (injected clock, collect-then-sort, integer accumulation).
+package detertaint
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"piumagcn/internal/lint/testdata/src/detertaint/obs"
+	"piumagcn/internal/lint/testdata/src/detertaint/store"
+)
+
+// writeNow journals a direct wall-clock read.
+func writeNow(j *store.Journal) error {
+	now := time.Now().UnixNano()
+	return j.Append(fmt.Appendf(nil, "t=%d", now))
+}
+
+// stamp launders the clock through a helper; the taint follows the
+// return value across the call.
+func stamp() int64 {
+	return time.Now().UnixMilli()
+}
+
+func writeStamped(j *store.Journal) error {
+	b := fmt.Appendf(nil, "t=%d", stamp())
+	return j.Append(b)
+}
+
+// encodeRecord plants the clock in a struct field; the Encode receiver
+// carries it into the sink.
+func encodeRecord() ([]byte, error) {
+	r := store.Record{Run: "r1", At: time.Now().UnixMilli()}
+	return r.Encode()
+}
+
+// label feeds a global-rand shard id into a metric label.
+func label(v *obs.CounterVec) {
+	shard := strconv.Itoa(rand.IntN(8))
+	v.With(shard).Inc()
+}
+
+// dumpKeys journals map keys in iteration order, never sorted.
+func dumpKeys(j *store.Journal, m map[string]int) error {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return j.Append([]byte(strings.Join(keys, ",")))
+}
+
+// decide logs a decision drawn from the process-global generator.
+func decide() {
+	log.Printf("chose replica %d", rand.IntN(4))
+}
+
+// dumpSorted is the sanctioned collect-then-sort shape: clean.
+func dumpSorted(j *store.Journal, m map[string]int) error {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return j.Append([]byte(strings.Join(keys, ",")))
+}
+
+// clock is the injected-time seam: interface calls return no taint.
+type clock interface {
+	Now() time.Time
+}
+
+func writeTick(j *store.Journal, c clock) error {
+	return j.Append(fmt.Appendf(nil, "t=%d", c.Now().UnixNano()))
+}
+
+// total accumulates ints over a map — commutative, so clean.
+func total(j *store.Journal, m map[string]int) error {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return j.Append(fmt.Appendf(nil, "sum=%d", sum))
+}
+
+// banner is tainted but suppressed with a reason.
+func banner(j *store.Journal) error {
+	//lint:ignore detertaint boot banner timestamps are expected to differ between runs
+	return j.Append(fmt.Appendf(nil, "boot=%d", time.Now().Unix()))
+}

@@ -1,0 +1,29 @@
+// Package store is a stand-in for the real journal/ledger package: the
+// detertaint sink table matches by path segment, so these shapes carry
+// the same sink contract as piumagcn/internal/store.
+package store
+
+// Journal is a WAL stand-in.
+type Journal struct{}
+
+// Append writes one frame.
+func (j *Journal) Append(payload []byte) error {
+	_ = payload
+	return nil
+}
+
+// AppendFrame frames a payload into dst.
+func AppendFrame(dst, payload []byte) []byte {
+	return append(dst, payload...)
+}
+
+// Record is an encodable journal record.
+type Record struct {
+	Run string
+	At  int64
+}
+
+// Encode renders the record's canonical bytes.
+func (r Record) Encode() ([]byte, error) {
+	return []byte(r.Run), nil
+}

@@ -1,0 +1,101 @@
+// Package gorolifetime seeds unbounded-goroutine shapes for the
+// gorolifetime analyzer: an exitless literal, an exitless named loop,
+// a transitively exitless wrapper — and every sanctioned stop shape,
+// which must stay silent.
+package gorolifetime
+
+import "context"
+
+func step() {}
+
+// spinLit launches a literal whose loop can never reach its exit.
+func spinLit() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+// runForever has no reachable return: launching it leaks a goroutine.
+func runForever() {
+	for {
+		step()
+	}
+}
+
+func spawnNamed() {
+	go runForever()
+}
+
+// wrapper reaches runForever unconditionally, so it runs forever too.
+func wrapper() {
+	step()
+	runForever()
+}
+
+func spawnWrapped() {
+	go wrapper()
+}
+
+// loop stops on ctx cancellation: the select's Done case reaches return.
+func loop(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-work:
+			step()
+		}
+	}
+}
+
+func spawnLoop(ctx context.Context) {
+	go loop(ctx, make(chan int))
+}
+
+// drain is bounded by the channel close.
+func drain(ch chan int) {
+	for range ch {
+		step()
+	}
+}
+
+func spawnDrain(ch chan int) {
+	go drain(ch)
+}
+
+// spawnFinite's body simply runs to completion.
+func spawnFinite(done chan struct{}) {
+	go func() {
+		step()
+		close(done)
+	}()
+}
+
+// until's loop condition gives it an exit path.
+func until(stop *bool) {
+	for !*stop {
+		step()
+	}
+}
+
+func spawnUntil(b *bool) {
+	go until(b)
+}
+
+// stopper exits through a done-channel receive inside its loop.
+func stopper(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			step()
+		}
+	}
+}
+
+func spawnStopper(done chan struct{}) {
+	go stopper(done)
+}

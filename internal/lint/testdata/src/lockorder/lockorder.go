@@ -1,0 +1,90 @@
+// Package lockorder seeds lock-order cycles for the interprocedural
+// lockorder analyzer: a cross-package cycle through sub.Registry, an
+// intra-package two-mutex inversion, a same-receiver re-lock, and the
+// clean shapes that must stay silent.
+package lockorder
+
+import (
+	"sync"
+
+	"piumagcn/internal/lint/testdata/src/lockorder/sub"
+)
+
+// Coordinator holds its own mutex plus a registry from the dependency
+// package.
+type Coordinator struct {
+	mu  sync.Mutex
+	reg *sub.Registry
+}
+
+// Flush acquires the registry lock (inside sub.Absorb) while holding
+// the coordinator lock: Coordinator.mu -> sub.Registry.Mutex.
+func (c *Coordinator) Flush(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg.Absorb(k)
+}
+
+// Rebalance acquires the coordinator lock (inside drain) while holding
+// the registry lock: sub.Registry.Mutex -> Coordinator.mu. Together
+// with Flush this closes the cross-package cycle.
+func (c *Coordinator) Rebalance() {
+	c.reg.Lock()
+	defer c.reg.Unlock()
+	c.drain()
+}
+
+func (c *Coordinator) drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// pair seeds the direct intra-package inversion.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) left() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) right() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// ordered releases before the next acquisition: no edge, no report.
+func (p *pair) ordered() {
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+// branches acquire on disjoint paths: a may-analysis that respected the
+// CFG sees no overlap, so no self-edge.
+func (p *pair) branches(left bool) {
+	if left {
+		p.a.Lock()
+		defer p.a.Unlock()
+	} else {
+		p.a.Lock()
+		defer p.a.Unlock()
+	}
+}
+
+// global re-locked on the same receiver is a guaranteed self-deadlock.
+var global sync.Mutex
+
+func reenter() {
+	global.Lock()
+	global.Lock()
+	global.Unlock()
+	global.Unlock()
+}

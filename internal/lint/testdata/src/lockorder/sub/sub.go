@@ -1,0 +1,24 @@
+// Package sub is the dependency side of the cross-package lock-order
+// fixture: its Registry carries an embedded mutex that the parent
+// package acquires both directly and through Absorb.
+package sub
+
+import "sync"
+
+// Registry guards per-shard counters with an embedded mutex.
+type Registry struct {
+	sync.Mutex
+	shards map[string]int
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{shards: make(map[string]int)}
+}
+
+// Absorb locks the registry while updating a shard.
+func (r *Registry) Absorb(k string) {
+	r.Lock()
+	defer r.Unlock()
+	r.shards[k]++
+}

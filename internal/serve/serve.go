@@ -48,6 +48,17 @@ var (
 	ErrUnknownRun        = errors.New("unknown run")
 )
 
+// Clock abstracts wall time so run lifecycle timestamps — which are
+// journaled and surfaced in RunViews — can be pinned by tests and
+// deterministic harnesses (mirrors gate.Clock and gossip.Clock).
+type Clock interface {
+	Now() time.Time
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
 // Config tunes the service. The zero value is usable: every field has
 // a sensible default applied by New.
 type Config struct {
@@ -94,6 +105,10 @@ type Config struct {
 	// backends. Empty keeps responses byte-identical to a standalone
 	// server.
 	Replica string
+	// Clock injects virtual time for run lifecycle timestamps
+	// (submitted/started/finished — the values that reach the journal
+	// and RunViews). Nil means wall clock.
+	Clock Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +132,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompactBytes == 0 {
 		c.CompactBytes = 4 << 20
+	}
+	if c.Clock == nil {
+		c.Clock = wallClock{}
 	}
 	return c
 }
@@ -260,8 +278,9 @@ func (v RunView) Elapsed() time.Duration {
 
 // Server owns the queue, the worker pool and the run table.
 type Server struct {
-	cfg  Config
-	byID map[string]bench.Experiment
+	cfg   Config
+	byID  map[string]bench.Experiment
+	clock Clock
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -293,6 +312,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		byID:    byID,
+		clock:   cfg.Clock,
 		baseCtx: ctx,
 		stop:    stop,
 		queue:   make(chan *run, cfg.QueueDepth),
@@ -379,7 +399,7 @@ func (s *Server) SubmitWithBudget(experimentID string, o bench.Options, abandona
 		cancel:      cancel,
 		cp:          bench.NewCheckpoint(),
 		status:      StatusQueued,
-		submitted:   time.Now(),
+		submitted:   s.clock.Now(),
 		abandonable: abandonable,
 		done:        make(chan struct{}),
 	}
@@ -446,9 +466,18 @@ func (s *Server) Profile(id string) (*obs.Profile, Status, bool) {
 func (s *Server) Runs() []RunView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]RunView, 0, len(s.runs))
-	for _, r := range s.runs {
-		out = append(out, r.view())
+	// Iterate in sorted-ID order, not map order: the final sort below
+	// breaks Submitted ties by ID, but building the views in a
+	// deterministic order keeps every intermediate observable (and the
+	// taint analyzer) honest about where map randomness can leak.
+	ids := make([]string, 0, len(s.runs))
+	for id := range s.runs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]RunView, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.runs[id].view())
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Submitted.Equal(out[j].Submitted) {
@@ -649,7 +678,7 @@ func (s *Server) execute(r *run) {
 		return
 	}
 	r.status = StatusRunning
-	r.started = time.Now()
+	r.started = s.clock.Now()
 	// The execution limit is RunTimeout capped by whatever remains of
 	// the propagated deadline budget — which may already be negative if
 	// the run sat queued past its deadline, in which case the timeout
@@ -768,7 +797,7 @@ func (s *Server) backoff(ctx context.Context, try int) bool {
 // and report different statuses. Interrupted and failed runs keep any
 // partial report their checkpoint produced. Callers hold s.mu.
 func (s *Server) finishLocked(r *run, rep *bench.Report, err error, timedOut bool) {
-	r.finished = time.Now()
+	r.finished = s.clock.Now()
 	switch {
 	case err == nil:
 		r.status = StatusDone

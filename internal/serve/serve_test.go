@@ -588,3 +588,50 @@ func TestRunIDCoversAllOptionFields(t *testing.T) {
 		}
 	}
 }
+
+// pinnedClock is a frozen serve.Clock: every lifecycle timestamp a
+// server stamps with it is exactly the pinned instant.
+type pinnedClock struct{ t time.Time }
+
+func (c pinnedClock) Now() time.Time { return c.t }
+
+// TestInjectedClockStampsLifecycle is the regression test for the
+// detertaint finding that run lifecycle timestamps were taken from the
+// wall clock: with Config.Clock injected, Submitted/Started/Finished
+// come from the injected clock, so journaled records and RunViews are
+// reproducible between identical runs.
+func TestInjectedClockStampsLifecycle(t *testing.T) {
+	pin := time.Date(2026, 2, 3, 4, 5, 6, 0, time.UTC)
+	release := make(chan struct{})
+	close(release)
+	s := newTestServer(t, serve.Config{
+		Workers:     1,
+		Experiments: []bench.Experiment{blockingExperiment("block", nil, release)},
+		Clock:       pinnedClock{t: pin},
+	})
+	v, absorbed, err := s.Submit("block", bench.QuickOptions(), false)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if absorbed {
+		t.Fatal("fresh submission reported as absorbed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	final, err := s.Wait(ctx, v.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.Status != serve.StatusDone {
+		t.Fatalf("status = %s, want done", final.Status)
+	}
+	for name, got := range map[string]time.Time{
+		"Submitted": final.Submitted,
+		"Started":   final.Started,
+		"Finished":  final.Finished,
+	} {
+		if !got.Equal(pin) {
+			t.Errorf("%s = %v, want injected clock %v", name, got, pin)
+		}
+	}
+}

@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 OUT="BENCH_TREND.json"
 PKGS=("$@")
 if [ ${#PKGS[@]} -eq 0 ]; then
-    PKGS=(./internal/workload/ ./internal/store/ ./internal/gossip/ ./internal/gate/)
+    PKGS=(./internal/workload/ ./internal/store/ ./internal/gossip/ ./internal/gate/ ./internal/lint/)
 fi
 
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)

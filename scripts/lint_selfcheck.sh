@@ -46,6 +46,27 @@ for dir in internal/lint/testdata/src/*/; do
   fi
 done
 
+# Warm-cache replay: with -cache, a second run over the same content
+# answers from the content-hash result cache alone — its diagnostics
+# must be byte-identical to the cold run's, or the cache is lying.
+cachedir="$(mktemp -d)"
+trap 'rm -rf "$(dirname "$BIN")" "$cachedir"' EXIT
+for dir in internal/lint/testdata/src/*/; do
+  name="$(basename "$dir")"
+  absdir="$(cd "$dir" && pwd)"
+  set +e
+  cold="$(cd "$absdir" && "$BIN" -cache "$cachedir" -analyzer "$name" .)"
+  warm="$(cd "$absdir" && "$BIN" -cache "$cachedir" -analyzer "$name" .)"
+  set -e
+  if [[ "$cold" != "$warm" ]]; then
+    echo "FAIL $name: warm cache run differs from cold run" >&2
+    diff <(printf '%s\n' "$cold") <(printf '%s\n' "$warm") >&2 || true
+    fail=1
+  else
+    echo "ok   $name warm cache is byte-identical"
+  fi
+done
+
 # The repo itself must be clean: every true positive is either fixed
 # or carries a reviewed //lint:ignore.
 if ! "$BIN" ./...; then
